@@ -1,0 +1,364 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// at reduced scale (BenchScale: 25 nodes, ~5 MB), plus ablations of
+// Bullet's design choices and micro-benchmarks of the substrates.
+//
+// Each figure bench reports the median and worst download time of the
+// headline system as custom metrics (median_s, worst_s), so regressions in
+// protocol behaviour — not just Go-level performance — show up in bench
+// diffs. Run the full-scale reproduction with cmd/bulletctl -scale 1.
+package bulletprime_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bulletprime/internal/core"
+	"bulletprime/internal/fountain"
+	"bulletprime/internal/harness"
+	"bulletprime/internal/netcode"
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/rsyncx"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/trace"
+)
+
+const benchSeed = 42
+
+// reportCDF attaches download-time metrics from the labelled series.
+func reportCDF(b *testing.B, fig *trace.Figure, label string) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if s.Label != label || len(s.Points) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Points[len(s.Points)/2][0], "median_s")
+		b.ReportMetric(s.Points[len(s.Points)-1][0], "worst_s")
+		return
+	}
+}
+
+func BenchmarkFigure04StaticComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure4(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime")
+	}
+}
+
+func BenchmarkFigure05DynamicComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure5(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime")
+	}
+}
+
+func BenchmarkFigure06RequestStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure6(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime rarest-random request strategy")
+	}
+}
+
+func BenchmarkFigure07PeerSetStatic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure7(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime, dyn. #senders,#receivers")
+	}
+}
+
+func BenchmarkFigure08PeerSetDynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure8(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime, dyn. #senders,#receivers")
+	}
+}
+
+func BenchmarkFigure09ConstrainedAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure9(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime, dyn. #senders,#receivers")
+	}
+}
+
+func BenchmarkFigure10OutstandingClean(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure10(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime , dyn  outst")
+	}
+}
+
+func BenchmarkFigure11OutstandingLossy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure11(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime , dyn  outst")
+	}
+}
+
+func BenchmarkFigure12OutstandingCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure12(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime , dyn  outst")
+	}
+}
+
+func BenchmarkFigure13InterArrival(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Figure13(harness.BenchScale, benchSeed)
+		b.ReportMetric(res.LastBlocksOverage, "overage_s")
+		b.ReportMetric(res.EncodingCost, "encode_cost_s")
+	}
+}
+
+func BenchmarkFigure14PlanetLab(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure14(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "BulletPrime")
+	}
+}
+
+func BenchmarkFigure15Shotgun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure15(harness.BenchScale, benchSeed)
+		reportCDF(b, fig, "Shotgun (Download + Update)")
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+// ablationRun runs Bullet' on the lossy ModelNet mesh with a config hook.
+func ablationRun(seed int64, mut func(*core.Config)) *harness.RunResult {
+	sc := harness.BenchScale
+	w := harness.Workload{FileBytes: sc.File * 100e6, BlockSize: 16 * 1024}
+	n := 25
+	return harness.RunOne("ablation", seed, harness.ModelNetTopology(n), nil,
+		harness.KindBulletPrime, w, mut, 3600)
+}
+
+// BenchmarkAblationAlphaBeta compares the XCP-derived dynamic window
+// against the naive fixed window of 5 (what BitTorrent hard-codes).
+func BenchmarkAblationAlphaBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dyn := ablationRun(benchSeed, nil)
+		fixed := ablationRun(benchSeed, func(c *core.Config) { c.StaticOutstanding = 5 })
+		b.ReportMetric(dyn.CDF.Worst(), "dyn_worst_s")
+		b.ReportMetric(fixed.CDF.Worst(), "fixed5_worst_s")
+	}
+}
+
+// BenchmarkAblationStaticPeers quantifies adaptive peer-set sizing against
+// the best and worst static sizes on the lossy mesh.
+func BenchmarkAblationStaticPeers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dyn := ablationRun(benchSeed, nil)
+		s6 := ablationRun(benchSeed, func(c *core.Config) { c.StaticPeers = 6 })
+		s14 := ablationRun(benchSeed, func(c *core.Config) { c.StaticPeers = 14 })
+		b.ReportMetric(dyn.CDF.Median(), "dyn_median_s")
+		b.ReportMetric(s6.CDF.Median(), "s6_median_s")
+		b.ReportMetric(s14.CDF.Median(), "s14_median_s")
+	}
+}
+
+// BenchmarkAblationDiffClocking compares the paper's self-clocked diffs
+// (§3.3.4) against fixed 5-second diff timers.
+func BenchmarkAblationDiffClocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		selfClocked := ablationRun(benchSeed, nil)
+		periodic := ablationRun(benchSeed, func(c *core.Config) { c.PeriodicDiffs = 5 })
+		b.ReportMetric(selfClocked.CDF.Median(), "selfclock_median_s")
+		b.ReportMetric(periodic.CDF.Median(), "periodic_median_s")
+		b.ReportMetric(selfClocked.ControlOverhead()*100, "selfclock_ctl_pct")
+		b.ReportMetric(periodic.ControlOverhead()*100, "periodic_ctl_pct")
+	}
+}
+
+// BenchmarkAblationRequestStrategy isolates first-encountered vs
+// rarest-random block selection.
+func BenchmarkAblationRequestStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rr := ablationRun(benchSeed, func(c *core.Config) { c.Strategy = core.RarestRandom })
+		fe := ablationRun(benchSeed, func(c *core.Config) { c.Strategy = core.FirstEncountered })
+		b.ReportMetric(rr.CDF.Median(), "rarestrand_median_s")
+		b.ReportMetric(fe.CDF.Median(), "first_median_s")
+	}
+}
+
+// BenchmarkExtensionChurnResilience measures the mesh's failure tolerance
+// (the paper's §1 motivation): median completion with and without 20% of
+// control-tree leaves crashing mid-download.
+func BenchmarkExtensionChurnResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		calm := ablationRun(benchSeed, nil)
+		b.ReportMetric(calm.CDF.Median(), "calm_median_s")
+
+		// Churn run: rebuild the same scenario and fail leaves at t=15s.
+		sc := harness.BenchScale
+		w := harness.Workload{FileBytes: sc.File * 100e6, BlockSize: 16 * 1024}
+		topo := harness.ModelNetTopology(25)(sim.NewRNG(benchSeed).Stream("topo"))
+		rig := harness.NewRig(topo, benchSeed)
+		sys := rig.BuildSystem(harness.KindBulletPrime, w, nil)
+		sess := sys.(*core.Session)
+		rig.Eng.Schedule(15, func() {
+			failed := 0
+			sess.Tree.Walk(func(id netem.NodeID) {
+				if id != 0 && sess.Tree.IsLeaf(id) && failed < 5 {
+					rig.RT.Node(id).Fail()
+					failed++
+				}
+			})
+		})
+		sys.Start()
+		rig.Eng.RunUntil(3600)
+		churn := &trace.CDF{}
+		for _, ts := range rig.Done {
+			churn.Add(float64(ts))
+		}
+		b.ReportMetric(churn.Median(), "churn_median_s")
+	}
+}
+
+// BenchmarkCodecComparison contrasts the two coding substrates on the same
+// payload: LT (fountain) reception overhead vs network-coding rank overhead
+// and their decode costs — the §2.2 vs §5-Avalanche trade-off.
+func BenchmarkCodecComparison(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(5)).Read(data)
+	const bs = 4096
+	for i := 0; i < b.N; i++ {
+		enc := fountain.NewEncoder(data, bs, 9)
+		dec := fountain.NewDecoder(enc.K(), bs, 9)
+		for id := 0; !dec.Complete(); id++ {
+			dec.Add(id, enc.Block(id))
+		}
+		b.ReportMetric(dec.Overhead()*100, "fountain_ovh_pct")
+
+		nenc := netcode.NewEncoder(data, bs)
+		ndec := netcode.NewDecoder(nenc.K(), bs)
+		rng := rand.New(rand.NewSource(9))
+		for !ndec.Complete() {
+			ndec.Add(nenc.Emit(rng))
+		}
+		b.ReportMetric(ndec.Overhead()*100, "netcode_ovh_pct")
+	}
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkFountainEncode(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	enc := fountain.NewEncoder(data, 16*1024, 9)
+	b.SetBytes(16 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.Block(i)
+	}
+}
+
+func BenchmarkFountainDecode(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(2)).Read(data)
+	enc := fountain.NewEncoder(data, 16*1024, 9)
+	// Pre-generate ample encoded blocks outside the timed loop.
+	var blocks [][]byte
+	for i := 0; i < enc.K()*3; i++ {
+		blocks = append(blocks, enc.Block(i))
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := fountain.NewDecoder(enc.K(), 16*1024, 9)
+		for id, blk := range blocks {
+			if dec.Complete() {
+				break
+			}
+			dec.Add(id, blk)
+		}
+		if !dec.Complete() {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkRsyncDelta(b *testing.B) {
+	old := make([]byte, 4<<20)
+	rand.New(rand.NewSource(3)).Read(old)
+	new := append([]byte(nil), old...)
+	for i := 0; i < 16; i++ {
+		new[i*200000] ^= 0xff
+	}
+	sig := rsyncx.ComputeSignature(old, 2048)
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := rsyncx.ComputeDelta(sig, new)
+		if len(d.Ops) == 0 {
+			b.Fatal("empty delta")
+		}
+	}
+}
+
+func BenchmarkFairShareRecompute(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 100
+	topo := netem.NewTopology(n)
+	topo.SetUniformAccess(netem.Mbps(6), netem.Mbps(6), netem.MS(1))
+	rng := sim.NewRNG(4)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				topo.SetCoreBW(netem.NodeID(i), netem.NodeID(j), netem.Mbps(2))
+				topo.SetCoreDelay(netem.NodeID(i), netem.NodeID(j), netem.MS(rng.Uniform(5, 200)))
+				topo.SetCoreLoss(netem.NodeID(i), netem.NodeID(j), rng.Uniform(0, 0.03))
+			}
+		}
+	}
+	net := netem.New(eng, topo, rng.Stream("net"))
+	// 1000 concurrent long transfers: the fair-share load of a full-scale
+	// Bullet' run.
+	for k := 0; k < 1000; k++ {
+		src := netem.NodeID(rng.Intn(n))
+		dst := netem.NodeID(rng.Intn(n))
+		if src == dst {
+			dst = (dst + 1) % netem.NodeID(n)
+		}
+		net.NewFlow(src, dst).Start(1e12, nil)
+	}
+	eng.RunUntil(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.BandwidthChanged()
+		eng.RunUntil(eng.Now() + 0.05)
+	}
+}
+
+func BenchmarkBlockStoreDiff(b *testing.B) {
+	s := proto.NewBlockStore(6400)
+	for i := 0; i < 6400; i += 2 {
+		s.Add(i, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _ := s.ArrivalsSince(0)
+		if len(ids) != 3200 {
+			b.Fatal("wrong diff")
+		}
+	}
+}
+
+func BenchmarkSummaryUsefulTo(b *testing.B) {
+	full := proto.NewBlockStore(6400)
+	for i := 0; i < 6400; i++ {
+		full.Add(i, 0)
+	}
+	half := proto.NewBlockStore(6400)
+	for i := 0; i < 3200; i++ {
+		half.Add(i*2, 0)
+	}
+	sum := proto.NewSummary(full)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sum.UsefulTo(half, 64) <= 0 {
+			b.Fatal("useless")
+		}
+	}
+}

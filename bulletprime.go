@@ -1,0 +1,219 @@
+// Package bulletprime is a faithful reproduction of "Maintaining High
+// Bandwidth under Dynamic Network Conditions" (Kostić et al., USENIX ATC
+// 2005): the Bullet' mesh-based high-bandwidth data dissemination system,
+// the baselines it was evaluated against (Bullet, BitTorrent, SplitStream),
+// the Shotgun rapid-synchronization tool, the rateless erasure codes of
+// §2.2, and a deterministic flow-level network emulator standing in for
+// ModelNet.
+//
+// This file is the public façade: a downstream user can run a complete
+// dissemination experiment — topology, dynamics, protocol, measurement —
+// through RunConfig/Run without touching the internal packages.
+//
+//	res, err := bulletprime.Run(bulletprime.RunConfig{
+//	    Protocol:  bulletprime.ProtocolBulletPrime,
+//	    Nodes:     50,
+//	    FileBytes: 20 << 20,
+//	    Network:   bulletprime.NetworkModelNet,
+//	    Seed:      1,
+//	})
+//
+// The cmd/bulletctl tool regenerates every figure of the paper's
+// evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// measured results.
+package bulletprime
+
+import (
+	"fmt"
+	"sort"
+
+	"bulletprime/internal/core"
+	"bulletprime/internal/harness"
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+)
+
+// Protocol selects the dissemination system for a run.
+type Protocol string
+
+// The four systems evaluated by the paper.
+const (
+	ProtocolBulletPrime Protocol = "bulletprime"
+	ProtocolBullet      Protocol = "bullet"
+	ProtocolBitTorrent  Protocol = "bittorrent"
+	ProtocolSplitStream Protocol = "splitstream"
+)
+
+// NetworkPreset selects one of the paper's emulated environments.
+type NetworkPreset string
+
+// Presets matching the paper's experiment environments (§4.1, §4.4, §4.5,
+// §4.7).
+const (
+	// NetworkModelNet: 6 Mbps access, 2 Mbps core, delay U[5,200) ms,
+	// loss U[0,3%) — the main evaluation environment.
+	NetworkModelNet NetworkPreset = "modelnet"
+	// NetworkModelNetClean: same without random loss.
+	NetworkModelNetClean NetworkPreset = "modelnet-clean"
+	// NetworkConstrained: 800 Kbps access over a clean 10 Mbps core.
+	NetworkConstrained NetworkPreset = "constrained"
+	// NetworkHighBDP: 10 Mbps / 100 ms paths (large bandwidth-delay
+	// product), no loss.
+	NetworkHighBDP NetworkPreset = "highbdp"
+	// NetworkPlanetLab: heterogeneous wide-area node mix.
+	NetworkPlanetLab NetworkPreset = "planetlab"
+)
+
+// RequestStrategy re-exports the §3.3.2 request orderings.
+type RequestStrategy = core.RequestStrategy
+
+// The four request strategies of §3.3.2.
+const (
+	FirstEncountered = core.FirstEncountered
+	RandomStrategy   = core.Random
+	Rarest           = core.Rarest
+	RarestRandom     = core.RarestRandom
+)
+
+// RunConfig describes one dissemination experiment.
+type RunConfig struct {
+	// Protocol defaults to ProtocolBulletPrime.
+	Protocol Protocol
+	// Nodes is the overlay size including the source (minimum 8).
+	Nodes int
+	// FileBytes is the file size; BlockSize defaults to 16 KB.
+	FileBytes float64
+	BlockSize float64
+	// Network defaults to NetworkModelNet.
+	Network NetworkPreset
+	// DynamicBandwidth enables the §4.1 synthetic bandwidth-change
+	// process (20 s period, cumulative halving).
+	DynamicBandwidth bool
+	// Seed makes the run reproducible; equal seeds share topology draws
+	// across protocols.
+	Seed int64
+	// Deadline bounds simulated time (seconds); default 3600.
+	Deadline float64
+
+	// Bullet'-specific knobs (ignored by other protocols).
+	Strategy          RequestStrategy // default RarestRandom
+	StaticPeers       int             // pin peer-set size; 0 = adaptive
+	StaticOutstanding int             // pin outstanding window; 0 = adaptive
+	Encoded           bool            // source fountain-coding mode
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// CompletionTimes maps node id to download completion (seconds of
+	// simulated time); the source is not included.
+	CompletionTimes map[int]float64
+	// Finished reports whether every node completed before the deadline.
+	Finished bool
+	// ControlOverhead is control bytes / total bytes delivered.
+	ControlOverhead float64
+}
+
+// Median returns the median completion time.
+func (r *Result) Median() float64 { return r.quantile(0.5) }
+
+// Worst returns the slowest node's completion time.
+func (r *Result) Worst() float64 { return r.quantile(1.0) }
+
+// Best returns the fastest node's completion time.
+func (r *Result) Best() float64 { return r.quantile(0.0) }
+
+func (r *Result) quantile(q float64) float64 {
+	if len(r.CompletionTimes) == 0 {
+		return 0
+	}
+	xs := make([]float64, 0, len(r.CompletionTimes))
+	for _, t := range r.CompletionTimes {
+		xs = append(xs, t)
+	}
+	sort.Float64s(xs)
+	i := int(q*float64(len(xs)-1) + 0.5)
+	return xs[i]
+}
+
+// Run executes the experiment and returns per-node results.
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Nodes < 8 {
+		return nil, fmt.Errorf("bulletprime: need at least 8 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.FileBytes <= 0 {
+		return nil, fmt.Errorf("bulletprime: FileBytes must be positive")
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolBulletPrime
+	}
+	if cfg.Network == "" {
+		cfg.Network = NetworkModelNet
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 16 * 1024
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 3600
+	}
+
+	var kind harness.ProtoKind
+	switch cfg.Protocol {
+	case ProtocolBulletPrime:
+		kind = harness.KindBulletPrime
+	case ProtocolBullet:
+		kind = harness.KindBullet
+	case ProtocolBitTorrent:
+		kind = harness.KindBitTorrent
+	case ProtocolSplitStream:
+		kind = harness.KindSplitStream
+	default:
+		return nil, fmt.Errorf("bulletprime: unknown protocol %q", cfg.Protocol)
+	}
+
+	var topoFn func(*sim.RNG) *netem.Topology
+	switch cfg.Network {
+	case NetworkModelNet:
+		topoFn = harness.ModelNetTopology(cfg.Nodes)
+	case NetworkModelNetClean:
+		topoFn = harness.LosslessModelNetTopology(cfg.Nodes)
+	case NetworkConstrained:
+		topoFn = harness.ConstrainedAccessTopology(cfg.Nodes)
+	case NetworkHighBDP:
+		topoFn = harness.HighBDPTopology(cfg.Nodes, 0, 0)
+	case NetworkPlanetLab:
+		topoFn = harness.PlanetLabTopology(cfg.Nodes)
+	default:
+		return nil, fmt.Errorf("bulletprime: unknown network preset %q", cfg.Network)
+	}
+
+	var dyn func(*harness.Rig)
+	if cfg.DynamicBandwidth {
+		dyn = harness.SyntheticBandwidthChanges(20)
+	}
+
+	coreMut := func(c *core.Config) {
+		c.Strategy = cfg.Strategy
+		c.StaticPeers = cfg.StaticPeers
+		c.StaticOutstanding = cfg.StaticOutstanding
+		c.Encoded = cfg.Encoded
+	}
+
+	w := harness.Workload{FileBytes: cfg.FileBytes, BlockSize: cfg.BlockSize}
+	res := harness.RunOne(string(cfg.Protocol), cfg.Seed, topoFn, dyn, kind, w, coreMut, sim.Time(cfg.Deadline))
+
+	out := &Result{
+		CompletionTimes: make(map[int]float64, len(res.PerNode)),
+		Finished:        res.Finished,
+		ControlOverhead: res.ControlOverhead(),
+	}
+	for id, t := range res.PerNode {
+		out.CompletionTimes[int(id)] = float64(t)
+	}
+	return out, nil
+}
+
+// RenderFigure regenerates one of the paper's evaluation figures (4-15) at
+// the given scale (1.0 = paper scale) and returns gnuplot-style text.
+func RenderFigure(figure int, scale float64, seed int64) (string, error) {
+	return harness.Render(figure, harness.Scale{Nodes: scale, File: scale}, seed)
+}

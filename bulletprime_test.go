@@ -1,0 +1,152 @@
+package bulletprime_test
+
+import (
+	"strings"
+	"testing"
+
+	"bulletprime"
+)
+
+func TestRunQuickstartShape(t *testing.T) {
+	res, err := bulletprime.Run(bulletprime.RunConfig{
+		Nodes:     10,
+		FileBytes: 1 << 20,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("run did not finish")
+	}
+	if len(res.CompletionTimes) != 9 {
+		t.Fatalf("%d completion times, want 9 (source excluded)", len(res.CompletionTimes))
+	}
+	if !(res.Best() <= res.Median() && res.Median() <= res.Worst()) {
+		t.Fatalf("quantiles disordered: %v %v %v", res.Best(), res.Median(), res.Worst())
+	}
+	if res.ControlOverhead <= 0 || res.ControlOverhead > 0.5 {
+		t.Fatalf("control overhead %v implausible", res.ControlOverhead)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []bulletprime.Protocol{
+		bulletprime.ProtocolBulletPrime,
+		bulletprime.ProtocolBullet,
+		bulletprime.ProtocolBitTorrent,
+		bulletprime.ProtocolSplitStream,
+	} {
+		res, err := bulletprime.Run(bulletprime.RunConfig{
+			Protocol:  p,
+			Nodes:     10,
+			FileBytes: 1 << 20,
+			Seed:      2,
+			Deadline:  1800,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !res.Finished {
+			t.Fatalf("%s did not finish", p)
+		}
+	}
+}
+
+func TestRunAllNetworks(t *testing.T) {
+	for _, n := range []bulletprime.NetworkPreset{
+		bulletprime.NetworkModelNet,
+		bulletprime.NetworkModelNetClean,
+		bulletprime.NetworkConstrained,
+		bulletprime.NetworkHighBDP,
+		bulletprime.NetworkPlanetLab,
+	} {
+		res, err := bulletprime.Run(bulletprime.RunConfig{
+			Nodes:     10,
+			FileBytes: 1 << 20,
+			Network:   n,
+			Seed:      3,
+			Deadline:  3600,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if !res.Finished {
+			t.Fatalf("%s did not finish", n)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := bulletprime.Run(bulletprime.RunConfig{Nodes: 2, FileBytes: 1e6}); err == nil {
+		t.Fatal("accepted too few nodes")
+	}
+	if _, err := bulletprime.Run(bulletprime.RunConfig{Nodes: 10}); err == nil {
+		t.Fatal("accepted zero file size")
+	}
+	if _, err := bulletprime.Run(bulletprime.RunConfig{Nodes: 10, FileBytes: 1e6, Protocol: "gopher"}); err == nil {
+		t.Fatal("accepted unknown protocol")
+	}
+	if _, err := bulletprime.Run(bulletprime.RunConfig{Nodes: 10, FileBytes: 1e6, Network: "fddi"}); err == nil {
+		t.Fatal("accepted unknown network")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() float64 {
+		res, err := bulletprime.Run(bulletprime.RunConfig{Nodes: 10, FileBytes: 1 << 20, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Worst()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}
+
+func TestRunDynamicBandwidth(t *testing.T) {
+	res, err := bulletprime.Run(bulletprime.RunConfig{
+		Nodes:            10,
+		FileBytes:        2 << 20,
+		DynamicBandwidth: true,
+		Seed:             5,
+		Deadline:         3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("dynamic run did not finish")
+	}
+}
+
+func TestRunBulletPrimeKnobs(t *testing.T) {
+	res, err := bulletprime.Run(bulletprime.RunConfig{
+		Nodes:             10,
+		FileBytes:         1 << 20,
+		Strategy:          bulletprime.RandomStrategy,
+		StaticPeers:       6,
+		StaticOutstanding: 5,
+		Seed:              6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("knob run did not finish")
+	}
+}
+
+func TestRenderFigureSmoke(t *testing.T) {
+	out, err := bulletprime.RenderFigure(9, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 9") {
+		t.Fatal("missing figure title")
+	}
+	if _, err := bulletprime.RenderFigure(3, 0.1, 7); err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+}

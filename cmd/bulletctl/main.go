@@ -1,0 +1,112 @@
+// Command bulletctl regenerates any figure of the paper's evaluation
+// section from the reproduced systems.
+//
+// Usage:
+//
+//	bulletctl -figure 4            # quick, scaled-down run
+//	bulletctl -figure 5 -scale 1   # full paper scale (100 nodes, 100 MB)
+//	bulletctl -list
+//
+// Output is gnuplot-style text: a summary table (best/median/p90/worst
+// download times per series) followed by the raw CDF points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"bulletprime/internal/harness"
+)
+
+func main() {
+	var (
+		figure    = flag.Int("figure", 4, "paper figure to regenerate (4..15)")
+		scale     = flag.Float64("scale", 0.25, "experiment scale: 1 = paper scale (100 nodes, 100 MB)")
+		fileScale = flag.Float64("filescale", 0, "file-size scale override (defaults to -scale)")
+		seed      = flag.Int64("seed", 42, "master random seed (topology + protocol)")
+		list      = flag.Bool("list", false, "list available figures and exit")
+		summary   = flag.Bool("summary", false, "print only the summary table, not raw CDF points")
+		all       = flag.String("all", "", "regenerate every figure into this directory (figureNN.dat)")
+	)
+	flag.Parse()
+
+	if *list {
+		var nums []int
+		for n := range harness.AllFigures {
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+		for _, n := range nums {
+			fmt.Printf("  figure %2d: %s\n", n, harness.AllFigures[n])
+		}
+		return
+	}
+
+	sc := harness.Scale{Nodes: *scale, File: *scale}
+	if *fileScale > 0 {
+		sc.File = *fileScale
+	}
+
+	if *all != "" {
+		if err := os.MkdirAll(*all, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bulletctl:", err)
+			os.Exit(1)
+		}
+		var nums []int
+		for n := range harness.AllFigures {
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+		for _, n := range nums {
+			t0 := time.Now()
+			out, err := harness.Render(n, sc, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bulletctl:", err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("%s/figure%02d.dat", *all, n)
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bulletctl:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%.1fs)\n", path, time.Since(t0).Seconds())
+		}
+		return
+	}
+
+	start := time.Now()
+	out, err := harness.Render(*figure, sc, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	if *summary {
+		// The summary table ends at the first blank-line + '#' block.
+		for _, line := range splitKeep(out) {
+			if len(line) > 0 && line[0] == '#' {
+				break
+			}
+			fmt.Println(line)
+		}
+	} else {
+		fmt.Print(out)
+	}
+	fmt.Fprintf(os.Stderr, "[figure %d, scale %.2f, %.1fs wall]\n", *figure, *scale, time.Since(start).Seconds())
+}
+
+func splitKeep(s string) []string {
+	var out []string
+	cur := make([]byte, 0, 128)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, string(cur))
+			cur = cur[:0]
+			continue
+		}
+		cur = append(cur, s[i])
+	}
+	return append(out, string(cur))
+}

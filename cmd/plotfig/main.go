@@ -1,0 +1,37 @@
+// Command plotfig renders a figure data file produced by bulletctl as an
+// ASCII chart — a gnuplot stand-in for inspecting reproduced figures in a
+// terminal.
+//
+//	go run ./cmd/bulletctl -figure 4 > f4.dat
+//	go run ./cmd/plotfig f4.dat
+//	go run ./cmd/plotfig -width 100 -height 30 results/figure05.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bulletprime/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 78, "plot width in characters")
+	height := flag.Int("height", 22, "plot height in rows")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: plotfig [-width N] [-height N] FILE.dat")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plotfig:", err)
+		os.Exit(1)
+	}
+	fig, err := trace.ParseFigure(string(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plotfig:", err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.AsciiPlot(*width, *height))
+}

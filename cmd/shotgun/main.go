@@ -1,0 +1,200 @@
+// Command shotgun computes and applies rsync-style batch delta bundles
+// between directory trees — the data-preparation half of the paper's
+// Shotgun tool (§4.8). The dissemination half is the Bullet' overlay; this
+// CLI produces the bundle a shotgund deployment would multicast, and can
+// apply a received bundle locally.
+//
+// Usage:
+//
+//	shotgun diff  -old v1/ -new v2/ -out update.sgb   # build bundle
+//	shotgun apply -old v1/ -bundle update.sgb          # replay onto v1/
+//	shotgun stat  -bundle update.sgb                   # inspect
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bulletprime/internal/rsyncx"
+	"bulletprime/internal/shotgun"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "apply":
+		cmdApply(os.Args[2:])
+	case "stat":
+		cmdStat(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  shotgun diff  -old DIR -new DIR -out FILE [-block N] [-version V]
+  shotgun apply -old DIR -bundle FILE
+  shotgun stat  -bundle FILE`)
+	os.Exit(2)
+}
+
+func cmdDiff(args []string) {
+	fl := flag.NewFlagSet("diff", flag.ExitOnError)
+	oldDir := fl.String("old", "", "current software image directory")
+	newDir := fl.String("new", "", "updated software image directory")
+	out := fl.String("out", "update.sgb", "output bundle path")
+	block := fl.Int("block", rsyncx.DefaultBlockSize, "delta block size")
+	version := fl.Int("version", 1, "bundle version number")
+	fl.Parse(args)
+	if *oldDir == "" || *newDir == "" {
+		usage()
+	}
+
+	oldImg := mustReadTree(*oldDir)
+	newImg := mustReadTree(*newDir)
+	b := shotgun.BuildBundle(*version, oldImg, newImg, *block)
+
+	f, err := os.Create(*out)
+	check(err)
+	defer f.Close()
+	check(gob.NewEncoder(f).Encode(wireBundle(b)))
+
+	var oldTotal, newTotal int
+	for _, d := range oldImg {
+		oldTotal += len(d)
+	}
+	for _, d := range newImg {
+		newTotal += len(d)
+	}
+	fmt.Printf("bundle %s: version %d, %d changed files, %d deletions\n",
+		*out, b.Version, len(b.Files), len(b.Deleted))
+	fmt.Printf("image %d -> %d bytes; delta payload ~%d bytes (%.1f%% of new image)\n",
+		oldTotal, newTotal, b.WireSize(), 100*float64(b.WireSize())/float64(maxInt(newTotal, 1)))
+}
+
+func cmdApply(args []string) {
+	fl := flag.NewFlagSet("apply", flag.ExitOnError)
+	oldDir := fl.String("old", "", "directory to update in place")
+	bundle := fl.String("bundle", "", "bundle file to apply")
+	fl.Parse(args)
+	if *oldDir == "" || *bundle == "" {
+		usage()
+	}
+
+	b := mustReadBundle(*bundle)
+	oldImg := mustReadTree(*oldDir)
+	newImg, err := shotgun.ApplyBundle(oldImg, b)
+	check(err)
+
+	// Write changed/new files, remove deleted ones.
+	written := 0
+	for p, data := range newImg {
+		full := filepath.Join(*oldDir, filepath.FromSlash(p))
+		check(os.MkdirAll(filepath.Dir(full), 0o755))
+		check(os.WriteFile(full, data, 0o644))
+		written++
+	}
+	for _, p := range b.Deleted {
+		os.Remove(filepath.Join(*oldDir, filepath.FromSlash(p)))
+	}
+	fmt.Printf("applied bundle v%d: %d files written, %d removed\n", b.Version, written, len(b.Deleted))
+}
+
+func cmdStat(args []string) {
+	fl := flag.NewFlagSet("stat", flag.ExitOnError)
+	bundle := fl.String("bundle", "", "bundle file to inspect")
+	fl.Parse(args)
+	if *bundle == "" {
+		usage()
+	}
+	b := mustReadBundle(*bundle)
+	fmt.Printf("version %d, wire size ~%d bytes\n", b.Version, b.WireSize())
+	for _, f := range b.Files {
+		copies, lits := 0, 0
+		for _, op := range f.Delta.Ops {
+			if op.Kind == rsyncx.OpCopy {
+				copies++
+			} else {
+				lits += len(op.Data)
+			}
+		}
+		tag := "delta "
+		if f.Create {
+			tag = "create"
+		}
+		fmt.Printf("  %s %-40s %6d copied blocks, %8d literal bytes\n", tag, f.Path, copies, lits)
+	}
+	for _, p := range b.Deleted {
+		fmt.Printf("  delete %s\n", p)
+	}
+}
+
+// gobBundle mirrors shotgun.Bundle with exported-only fields for gob.
+type gobBundle struct {
+	Version int
+	Files   []shotgun.FileDelta
+	Deleted []string
+}
+
+func wireBundle(b shotgun.Bundle) gobBundle {
+	return gobBundle{Version: b.Version, Files: b.Files, Deleted: b.Deleted}
+}
+
+func mustReadBundle(path string) shotgun.Bundle {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	var gb gobBundle
+	check(gob.NewDecoder(f).Decode(&gb))
+	return shotgun.Bundle{Version: gb.Version, Files: gb.Files, Deleted: gb.Deleted}
+}
+
+// mustReadTree loads a directory tree as path -> content with /-separated
+// relative paths.
+func mustReadTree(dir string) map[string][]byte {
+	out := make(map[string][]byte)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[strings.ReplaceAll(rel, string(filepath.Separator), "/")] = data
+		return nil
+	})
+	check(err)
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shotgun:", err)
+		os.Exit(1)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,603 @@
+// Package bittorrent implements the BitTorrent baseline the paper compares
+// against (§5): a centralized tracker handing out random peer lists,
+// tit-for-tat choking, local-rarest-first piece selection at piece
+// granularity with 16 KB sub-piece requests, and the protocol's hard-coded
+// constants (4 unchoke slots, 10 s rechoke, 30 s optimistic rotation, 5
+// outstanding sub-requests per peer) whose inflexibility the paper calls
+// out as limiting adaptability to changing network conditions.
+package bittorrent
+
+import (
+	"fmt"
+	"sort"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
+)
+
+// Protocol constants mirroring the mainline BitTorrent client of the era.
+const (
+	// BlocksPerPiece groups 16 KB sub-pieces into 256 KB pieces; only
+	// complete pieces are announced and served to others.
+	BlocksPerPiece = 16
+	// MaxOutstanding is the fixed per-peer outstanding sub-request limit
+	// ("BitTorrent tries to maintain five outstanding blocks from each
+	// peer by default", §4.5).
+	MaxOutstanding = 5
+	// UnchokeSlots is the number of reciprocation unchoke slots.
+	UnchokeSlots = 3
+	// RechokeInterval is the choker period in seconds.
+	RechokeInterval = 10.0
+	// OptimisticInterval rotates the optimistic unchoke (seconds).
+	OptimisticInterval = 30.0
+	// PeerSetSize is how many connections each node maintains.
+	PeerSetSize = 10
+	// TrackerPeers is how many peers the tracker returns per announce.
+	TrackerPeers = 20
+	// AnnounceInterval is the tracker re-announce period in seconds.
+	AnnounceInterval = 30.0
+)
+
+// Message kinds.
+const (
+	kindHandshake = iota + 1 // bitfield exchange
+	kindHave                 // piece completion announcement
+	kindRequest              // sub-piece request
+	kindPiece                // sub-piece data
+	kindChoke
+	kindUnchoke
+)
+
+type handshakeMsg struct{ pieces *proto.Bitmap }
+type haveMsg struct{ piece int }
+type requestMsg struct{ block int }
+type pieceMsg struct{ block int }
+
+// Config parameterizes a BitTorrent swarm.
+type Config struct {
+	Source    netem.NodeID
+	Members   []netem.NodeID
+	NumBlocks int
+	BlockSize float64
+
+	OnBlock    func(node netem.NodeID, blockID int, count int)
+	OnComplete func(node netem.NodeID)
+}
+
+// Session is one BitTorrent swarm.
+type Session struct {
+	rt  *proto.Runtime
+	cfg Config
+	rng *sim.RNG
+
+	tracker   *tracker
+	peers     map[netem.NodeID]*btPeer
+	numPieces int
+
+	completed int
+	doneAt    sim.Time
+
+	// Stats.
+	Duplicates   int
+	RequestsSent int
+}
+
+// NewSession builds the swarm; Start begins dissemination.
+func NewSession(rt *proto.Runtime, cfg Config, rng *sim.RNG) *Session {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 16 * 1024
+	}
+	s := &Session{
+		rt:        rt,
+		cfg:       cfg,
+		rng:       rng,
+		peers:     make(map[netem.NodeID]*btPeer),
+		numPieces: (cfg.NumBlocks + BlocksPerPiece - 1) / BlocksPerPiece,
+	}
+	s.tracker = &tracker{rng: rng.Stream("tracker")}
+	for _, id := range cfg.Members {
+		s.peers[id] = newBTPeer(s, id)
+	}
+	return s
+}
+
+// Start announces every peer to the tracker and begins the swarm.
+func (s *Session) Start() {
+	for _, id := range s.memberOrder() {
+		p := s.peers[id]
+		s.tracker.announce(p.node.ID)
+		p.bootstrap()
+	}
+}
+
+// Complete reports whether every non-source member finished.
+func (s *Session) Complete() bool { return s.completed >= len(s.cfg.Members)-1 }
+
+// DoneAt returns the completion time of the last node.
+func (s *Session) DoneAt() sim.Time { return s.doneAt }
+
+func (s *Session) memberOrder() []netem.NodeID {
+	out := append([]netem.NodeID(nil), s.cfg.Members...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *Session) pieceOf(block int) int { return block / BlocksPerPiece }
+
+func (s *Session) pieceBlocks(piece int) (lo, hi int) {
+	lo = piece * BlocksPerPiece
+	hi = lo + BlocksPerPiece
+	if hi > s.cfg.NumBlocks {
+		hi = s.cfg.NumBlocks
+	}
+	return lo, hi
+}
+
+func (s *Session) nodeCompleted(p *btPeer) {
+	s.completed++
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(p.node.ID)
+	}
+	if s.Complete() {
+		s.doneAt = s.rt.Now()
+	}
+}
+
+// tracker is the centralized coordination point: it knows every announced
+// peer and returns random subsets. Announce traffic is negligible against
+// 100 MB payloads, so the tracker is modelled as an oracle rather than a
+// network endpoint; its architectural role (random, content-oblivious
+// peering) is what the comparison needs.
+type tracker struct {
+	rng   *sim.RNG
+	known []netem.NodeID
+}
+
+func (t *tracker) announce(id netem.NodeID) {
+	for _, k := range t.known {
+		if k == id {
+			return
+		}
+	}
+	t.known = append(t.known, id)
+}
+
+// sample returns up to n random known peers excluding self.
+func (t *tracker) sample(self netem.NodeID, n int) []netem.NodeID {
+	var pool []netem.NodeID
+	for _, k := range t.known {
+		if k != self {
+			pool = append(pool, k)
+		}
+	}
+	t.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > n {
+		pool = pool[:n]
+	}
+	return pool
+}
+
+// btConn is per-connection state at one endpoint.
+type btConn struct {
+	id   netem.NodeID
+	conn *proto.Conn
+
+	// Remote piece availability.
+	remotePieces *proto.Bitmap
+	// Choking state: amChoking = we choke them; peerChoking = they choke us.
+	amChoking   bool
+	peerChoking bool
+
+	outstanding int
+	// epochBytes/downRate measure what we downloaded from them (for
+	// reciprocation) and upRate what we sent them (seed policy).
+	downEpoch float64
+	downRate  float64
+	upEpoch   float64
+	upRate    float64
+
+	closed bool
+}
+
+// btPeer is one BitTorrent node.
+type btPeer struct {
+	s    *Session
+	node *proto.Node
+	rng  *sim.RNG
+
+	blocks *proto.BlockStore // sub-piece granularity
+	pieces *proto.Bitmap     // completed pieces (shareable/announced)
+
+	conns map[netem.NodeID]*btConn
+
+	// pieceAvail[p] counts how many connected peers have piece p
+	// (local-rarest-first state).
+	pieceAvail []int
+
+	// claimed maps sub-piece -> peer currently asked (endgame relaxes it).
+	claimed map[int]netem.NodeID
+
+	// activePieces are partially downloaded pieces, preferred before
+	// starting new pieces (strict priority, as in mainline BT).
+	activePieces map[int]bool
+
+	optimistic netem.NodeID
+	complete   bool
+	seed       bool
+}
+
+func newBTPeer(s *Session, id netem.NodeID) *btPeer {
+	p := &btPeer{
+		s:            s,
+		node:         s.rt.NewNode(id),
+		rng:          s.rng.Stream(fmt.Sprintf("bt-%d", id)),
+		blocks:       proto.NewBlockStore(s.cfg.NumBlocks),
+		pieces:       proto.NewBitmap(s.numPieces),
+		conns:        make(map[netem.NodeID]*btConn),
+		pieceAvail:   make([]int, s.numPieces),
+		claimed:      make(map[int]netem.NodeID),
+		activePieces: make(map[int]bool),
+		optimistic:   -1,
+	}
+	if id == s.cfg.Source {
+		for i := 0; i < s.cfg.NumBlocks; i++ {
+			p.blocks.Add(i, 0)
+		}
+		for i := 0; i < s.numPieces; i++ {
+			p.pieces.Set(i)
+		}
+		p.complete = true
+		p.seed = true
+	}
+	p.node.OnMessage = p.onMessage
+	p.node.OnAccept = p.onAccept
+	p.node.OnClose = p.onConnClose
+	return p
+}
+
+// bootstrap fetches the initial peer list and schedules periodic work.
+func (p *btPeer) bootstrap() {
+	p.refreshPeers()
+	p.s.rt.After(RechokeInterval, p.rechoke)
+	p.s.rt.After(OptimisticInterval, p.rotateOptimistic)
+	p.s.rt.After(AnnounceInterval, p.reannounce)
+}
+
+func (p *btPeer) reannounce() {
+	if p.node.Conns() < PeerSetSize {
+		p.refreshPeers()
+	}
+	p.s.rt.After(AnnounceInterval, p.reannounce)
+}
+
+// refreshPeers dials random tracker-provided peers up to PeerSetSize.
+func (p *btPeer) refreshPeers() {
+	for _, id := range p.s.tracker.sample(p.node.ID, TrackerPeers) {
+		if len(p.conns) >= PeerSetSize {
+			break
+		}
+		if _, dup := p.conns[id]; dup {
+			continue
+		}
+		c := p.node.Dial(id)
+		p.attach(c, id)
+	}
+}
+
+func (p *btPeer) attach(c *proto.Conn, id netem.NodeID) *btConn {
+	bc := &btConn{id: id, conn: c, remotePieces: proto.NewBitmap(p.s.numPieces), amChoking: true, peerChoking: true}
+	p.conns[id] = bc
+	c.SetState(p.node, bc)
+	c.IsData = func(kind int) bool { return kind == kindPiece }
+	c.Send(p.node, proto.Message{
+		Kind:    kindHandshake,
+		Size:    float64(p.s.numPieces)/8 + 68,
+		Payload: handshakeMsg{pieces: p.pieces.Clone()},
+	})
+	return bc
+}
+
+// onAccept registers incoming connections (the dialer's handshake follows).
+func (p *btPeer) onAccept(c *proto.Conn) {
+	id := c.Peer(p.node).ID
+	if _, dup := p.conns[id]; dup {
+		c.Close(p.node) // simultaneous-open tie-break: keep the older conn
+		return
+	}
+	if len(p.conns) >= PeerSetSize+5 { // tolerate a few extra inbound
+		c.Close(p.node)
+		return
+	}
+	p.attach(c, id)
+}
+
+func (p *btPeer) onConnClose(c *proto.Conn) {
+	bc, ok := c.State(p.node).(*btConn)
+	if !ok || bc.closed {
+		return
+	}
+	bc.closed = true
+	delete(p.conns, bc.id)
+	for i := 0; i < p.s.numPieces; i++ {
+		if bc.remotePieces.Get(i) && p.pieceAvail[i] > 0 {
+			p.pieceAvail[i]--
+		}
+	}
+	for b, owner := range p.claimed {
+		if owner == bc.id {
+			delete(p.claimed, b)
+		}
+	}
+}
+
+func (p *btPeer) onMessage(c *proto.Conn, m proto.Message) {
+	bc, ok := c.State(p.node).(*btConn)
+	if !ok || bc.closed {
+		return
+	}
+	switch m.Kind {
+	case kindHandshake:
+		hs := m.Payload.(handshakeMsg)
+		for i := 0; i < p.s.numPieces; i++ {
+			if hs.pieces.Get(i) && !bc.remotePieces.Get(i) {
+				bc.remotePieces.Set(i)
+				p.pieceAvail[i]++
+			}
+		}
+		p.requestMore(bc)
+	case kindHave:
+		hv := m.Payload.(haveMsg)
+		if !bc.remotePieces.Get(hv.piece) {
+			bc.remotePieces.Set(hv.piece)
+			p.pieceAvail[hv.piece]++
+		}
+		p.requestMore(bc)
+	case kindChoke:
+		bc.peerChoking = true
+		// Outstanding requests are implicitly cancelled by a choke; free
+		// the claims so the blocks can be fetched elsewhere.
+		bc.outstanding = 0
+		for b, owner := range p.claimed {
+			if owner == bc.id {
+				delete(p.claimed, b)
+			}
+		}
+	case kindUnchoke:
+		bc.peerChoking = false
+		p.requestMore(bc)
+	case kindRequest:
+		p.serve(bc, m.Payload.(requestMsg).block)
+	case kindPiece:
+		p.onPiece(bc, m.Payload.(pieceMsg).block)
+	}
+}
+
+// serve sends a sub-piece if the requester is unchoked and we have it.
+func (p *btPeer) serve(bc *btConn, block int) {
+	if bc.amChoking && bc.id != p.optimistic {
+		return // choked peers get nothing; they will re-request on unchoke
+	}
+	if block < 0 || block >= p.s.cfg.NumBlocks || !p.blocks.Have(block) {
+		return
+	}
+	bc.conn.Send(p.node, proto.Message{
+		Kind:    kindPiece,
+		Size:    p.s.cfg.BlockSize + 13,
+		Payload: pieceMsg{block: block},
+	})
+}
+
+// onPiece handles an arriving sub-piece.
+func (p *btPeer) onPiece(bc *btConn, block int) {
+	if bc.outstanding > 0 {
+		bc.outstanding--
+	}
+	delete(p.claimed, block)
+	if !p.blocks.Add(block, p.s.rt.Now()) {
+		p.s.Duplicates++
+		p.requestMore(bc)
+		return
+	}
+	if p.s.cfg.OnBlock != nil {
+		p.s.cfg.OnBlock(p.node.ID, block, p.blocks.Count())
+	}
+	piece := p.s.pieceOf(block)
+	p.activePieces[piece] = true
+	if p.pieceComplete(piece) {
+		p.pieces.Set(piece)
+		delete(p.activePieces, piece)
+		// Announce to everyone (HAVE flood, as in the real protocol).
+		for _, id := range p.connOrder() {
+			other := p.conns[id]
+			other.conn.Send(p.node, proto.Message{Kind: kindHave, Size: 9, Payload: haveMsg{piece: piece}})
+		}
+	}
+	if !p.complete && p.blocks.Complete() {
+		p.complete = true
+		p.seed = true
+		p.s.nodeCompleted(p)
+	}
+	p.requestMore(bc)
+}
+
+func (p *btPeer) pieceComplete(piece int) bool {
+	lo, hi := p.s.pieceBlocks(piece)
+	for b := lo; b < hi; b++ {
+		if !p.blocks.Have(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// connOrder returns connection ids sorted (deterministic iteration).
+func (p *btPeer) connOrder() []netem.NodeID {
+	ids := make([]netem.NodeID, 0, len(p.conns))
+	for id := range p.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// requestMore fills the peer's outstanding window using strict-priority
+// active pieces then local-rarest-first new pieces.
+func (p *btPeer) requestMore(bc *btConn) {
+	if p.complete || bc.closed || bc.peerChoking {
+		return
+	}
+	for bc.outstanding < MaxOutstanding {
+		block, ok := p.pickBlock(bc)
+		if !ok {
+			break
+		}
+		p.claimed[block] = bc.id
+		bc.outstanding++
+		p.s.RequestsSent++
+		bc.conn.Send(p.node, proto.Message{Kind: kindRequest, Size: 17, Payload: requestMsg{block: block}})
+	}
+}
+
+// pickBlock chooses the next sub-piece to request from bc.
+func (p *btPeer) pickBlock(bc *btConn) (int, bool) {
+	endgame := p.inEndgame()
+	usable := func(b int) bool {
+		if p.blocks.Have(b) {
+			return false
+		}
+		if owner, taken := p.claimed[b]; taken {
+			// Endgame mode: re-request in-flight blocks from other peers.
+			if !endgame || owner == bc.id {
+				return false
+			}
+		}
+		return true
+	}
+	// 1. Finish active pieces the remote has.
+	var actives []int
+	for piece := range p.activePieces {
+		actives = append(actives, piece)
+	}
+	sort.Ints(actives)
+	for _, piece := range actives {
+		if !bc.remotePieces.Get(piece) {
+			continue
+		}
+		lo, hi := p.s.pieceBlocks(piece)
+		for b := lo; b < hi; b++ {
+			if usable(b) {
+				return b, true
+			}
+		}
+	}
+	// 2. Start the rarest new piece the remote has.
+	bestPiece, bestAvail := -1, 1<<30
+	var ties []int
+	for piece := 0; piece < p.s.numPieces; piece++ {
+		if p.pieces.Get(piece) || p.activePieces[piece] || !bc.remotePieces.Get(piece) {
+			continue
+		}
+		lo, hi := p.s.pieceBlocks(piece)
+		any := false
+		for b := lo; b < hi; b++ {
+			if usable(b) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		switch {
+		case p.pieceAvail[piece] < bestAvail:
+			bestAvail = p.pieceAvail[piece]
+			bestPiece = piece
+			ties = ties[:0]
+			ties = append(ties, piece)
+		case p.pieceAvail[piece] == bestAvail:
+			ties = append(ties, piece)
+		}
+	}
+	if bestPiece == -1 {
+		return 0, false
+	}
+	if len(ties) > 1 {
+		bestPiece = ties[p.rng.Pick(len(ties))]
+	}
+	lo, hi := p.s.pieceBlocks(bestPiece)
+	for b := lo; b < hi; b++ {
+		if usable(b) {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// inEndgame reports whether every missing block is already in flight.
+func (p *btPeer) inEndgame() bool {
+	missing := p.blocks.Missing()
+	return missing > 0 && missing <= len(p.claimed)+2
+}
+
+// rechoke runs the 10-second tit-for-tat choker.
+func (p *btPeer) rechoke() {
+	// Refresh rates.
+	for _, id := range p.connOrder() {
+		bc := p.conns[id]
+		down := bc.conn.DeliveredFrom(bc.conn.Peer(p.node))
+		bc.downRate = (down - bc.downEpoch) / RechokeInterval
+		bc.downEpoch = down
+		up := bc.conn.DeliveredFrom(p.node)
+		bc.upRate = (up - bc.upEpoch) / RechokeInterval
+		bc.upEpoch = up
+	}
+	// Rank: leechers reciprocate downloaders; seeds reward fast takers.
+	ids := p.connOrder()
+	sort.SliceStable(ids, func(i, j int) bool {
+		a, b := p.conns[ids[i]], p.conns[ids[j]]
+		if p.seed {
+			return a.upRate > b.upRate
+		}
+		return a.downRate > b.downRate
+	})
+	unchoked := 0
+	for _, id := range ids {
+		bc := p.conns[id]
+		want := unchoked < UnchokeSlots || id == p.optimistic
+		if want {
+			unchoked++
+		}
+		p.setChoke(bc, !want)
+	}
+	p.s.rt.After(RechokeInterval, p.rechoke)
+}
+
+func (p *btPeer) setChoke(bc *btConn, choke bool) {
+	if bc.amChoking == choke {
+		return
+	}
+	bc.amChoking = choke
+	kind := kindUnchoke
+	if choke {
+		kind = kindChoke
+	}
+	bc.conn.Send(p.node, proto.Message{Kind: kind, Size: 5})
+}
+
+// rotateOptimistic picks a new optimistic unchoke every 30 s, giving choked
+// peers a chance to prove themselves (and cold-starting new leechers).
+func (p *btPeer) rotateOptimistic() {
+	ids := p.connOrder()
+	var choked []netem.NodeID
+	for _, id := range ids {
+		if p.conns[id].amChoking {
+			choked = append(choked, id)
+		}
+	}
+	if len(choked) > 0 {
+		p.optimistic = choked[p.rng.Pick(len(choked))]
+		p.setChoke(p.conns[p.optimistic], false)
+	}
+	p.s.rt.After(OptimisticInterval, p.rotateOptimistic)
+}

@@ -1,0 +1,557 @@
+// Package bullet implements the original Bullet system (Kostić et al.,
+// SOSP'03), the paper's second baseline. Architecture: the source streams
+// the file down an overlay tree, with each interior node forwarding a
+// *disjoint* subset of what it receives to each child (tree bandwidth is
+// monotonically decreasing, so children receive partial data); RanSub
+// spreads per-node availability summaries; and every node maintains a
+// fixed-size mesh of 10 senders from which it pulls missing blocks via
+// periodic reconciliation with a fixed outstanding window — the tunables
+// Bullet' §3.3 replaces with adaptive mechanisms.
+package bullet
+
+import (
+	"fmt"
+	"sort"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/ransub"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/tree"
+)
+
+// Fixed Bullet parameters (the released system's defaults per §3.3.1).
+const (
+	// SenderTarget is the fixed number of mesh senders per node.
+	SenderTarget = 10
+	// ReceiverCap is the fixed number of mesh receivers a node serves;
+	// beyond it peering requests are rejected (10 in the released Bullet).
+	ReceiverCap = 10
+	// MaxOutstanding is the fixed per-sender outstanding request limit.
+	MaxOutstanding = 5
+	// ReconcilePeriod is the periodic pull reconciliation interval (s).
+	ReconcilePeriod = 5.0
+	// pushQueueDepth bounds queued pushed blocks per tree child.
+	pushQueueDepth = 3
+	// pushPumpInterval is the source/interior push pump period (s).
+	pushPumpInterval = 0.05
+)
+
+// Message kinds (RanSub kinds >= 1000 pass through).
+const (
+	kindPush   = iota + 1 // tree push of a block
+	kindHello             // mesh peering request
+	kindReject            // mesh peering refused
+	kindRecon             // receiver's bitmap: "what do you have for me?"
+	kindAvail             // sender's availability answer (missing-at-receiver ids)
+	kindReq               // block request
+	kindBlock             // pulled block
+)
+
+type reconMsg struct{ have *proto.Bitmap }
+type availMsg struct{ ids []int }
+type reqMsg struct{ id int }
+type blockMsg struct{ id int }
+
+// Config parameterizes a Bullet session.
+type Config struct {
+	Source    netem.NodeID
+	Members   []netem.NodeID
+	NumBlocks int
+	BlockSize float64
+
+	TreeDegree   int
+	RanSubPeriod float64
+
+	OnBlock    func(node netem.NodeID, blockID int, count int)
+	OnComplete func(node netem.NodeID)
+}
+
+// Session is one Bullet dissemination run.
+type Session struct {
+	rt  *proto.Runtime
+	cfg Config
+	rng *sim.RNG
+
+	Tree  *tree.Tree
+	peers map[netem.NodeID]*bPeer
+
+	comp   int
+	doneAt sim.Time
+
+	// Stats.
+	Duplicates   int
+	RequestsSent int
+	TreeDropped  int // pushed blocks dropped for lack of child capacity
+	PushesSent   int // push transmissions (source + interior forwards)
+}
+
+// NewSession builds the control/data tree and nodes.
+func NewSession(rt *proto.Runtime, cfg Config, rng *sim.RNG) *Session {
+	if cfg.TreeDegree <= 0 {
+		cfg.TreeDegree = 10
+	}
+	if cfg.RanSubPeriod <= 0 {
+		cfg.RanSubPeriod = 5.0
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 16 * 1024
+	}
+	s := &Session{
+		rt:    rt,
+		cfg:   cfg,
+		rng:   rng,
+		peers: make(map[netem.NodeID]*bPeer),
+	}
+	s.Tree = tree.Build(cfg.Members, cfg.Source, cfg.TreeDegree, rng.Stream("tree"))
+	for _, id := range cfg.Members {
+		s.peers[id] = newBPeer(s, id)
+	}
+	return s
+}
+
+// Start wires tree links and begins pushing and reconciliation.
+func (s *Session) Start() {
+	conns := make(map[[2]netem.NodeID]*proto.Conn)
+	s.Tree.Walk(func(id netem.NodeID) {
+		p := s.peers[id]
+		kids := append([]netem.NodeID(nil), s.Tree.Children(id)...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, cid := range kids {
+			c := p.node.Dial(cid)
+			c.IsData = isDataKind
+			conns[[2]netem.NodeID{id, cid}] = c
+			p.treeChildren = append(p.treeChildren, c)
+		}
+	})
+	s.Tree.Walk(func(id netem.NodeID) {
+		p := s.peers[id]
+		children := make(map[netem.NodeID]*proto.Conn)
+		for _, cid := range s.Tree.Children(id) {
+			children[cid] = conns[[2]netem.NodeID{id, cid}]
+		}
+		var parent *proto.Conn
+		if id != s.Tree.Root() {
+			parent = conns[[2]netem.NodeID{s.Tree.Parent(id), id}]
+		}
+		p.rs.SetLinks(id == s.Tree.Root(), parent, children)
+	})
+	src := s.peers[s.cfg.Source]
+	src.rs.Start()
+	src.pushPump()
+}
+
+// Complete reports whether every non-source member finished.
+func (s *Session) Complete() bool { return s.comp >= len(s.cfg.Members)-1 }
+
+// DoneAt returns the completion time of the last node.
+func (s *Session) DoneAt() sim.Time { return s.doneAt }
+
+func (s *Session) nodeCompleted(p *bPeer) {
+	s.comp++
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(p.node.ID)
+	}
+	if s.Complete() {
+		s.doneAt = s.rt.Now()
+	}
+}
+
+func isDataKind(kind int) bool { return kind == kindBlock || kind == kindPush }
+
+// sender is receiver-side mesh state.
+type sender struct {
+	id          netem.NodeID
+	conn        *proto.Conn
+	avail       []int // known-available, missing here
+	outstanding int
+	gotUseful   sim.Time // last time this sender gave a novel block
+	closed      bool
+}
+
+// receiver is sender-side mesh state.
+type receiver struct {
+	id     netem.NodeID
+	conn   *proto.Conn
+	closed bool
+}
+
+// bPeer is one Bullet node.
+type bPeer struct {
+	s     *Session
+	node  *proto.Node
+	store *proto.BlockStore
+	rs    *ransub.Agent
+	rng   *sim.RNG
+
+	isSource bool
+
+	senders   map[netem.NodeID]*sender
+	receivers map[netem.NodeID]*receiver
+	claimed   map[int]netem.NodeID
+	cands     []ransub.Candidate
+
+	// Tree push state.
+	treeChildren []*proto.Conn
+	srcNext      int  // source: next block to push
+	fwdChild     int  // interior: round-robin forward pointer
+	pumpPending  bool // source pump scheduled
+
+	complete bool
+}
+
+func newBPeer(s *Session, id netem.NodeID) *bPeer {
+	p := &bPeer{
+		s:         s,
+		node:      s.rt.NewNode(id),
+		store:     proto.NewBlockStore(s.cfg.NumBlocks),
+		rng:       s.rng.Stream(fmt.Sprintf("bullet-%d", id)),
+		isSource:  id == s.cfg.Source,
+		senders:   make(map[netem.NodeID]*sender),
+		receivers: make(map[netem.NodeID]*receiver),
+		claimed:   make(map[int]netem.NodeID),
+	}
+	if p.isSource {
+		for i := 0; i < s.cfg.NumBlocks; i++ {
+			p.store.Add(i, 0)
+		}
+		p.complete = true
+	}
+	p.rs = ransub.New(p.node, s.rng.Stream(fmt.Sprintf("bullet-rs-%d", id)), s.cfg.RanSubPeriod, ransub.DefaultFanout)
+	p.rs.Summarize = func() ransub.Candidate {
+		return ransub.Candidate{ID: id, Summary: proto.NewSummary(p.store)}
+	}
+	p.rs.OnDistribute = p.onDistribute
+	p.node.OnMessage = p.onMessage
+	p.node.OnClose = p.onConnClose
+	// Periodic reconciliation, phase-shifted per node id for determinism
+	// without synchronization artifacts.
+	phase := ReconcilePeriod * float64(int(id)%10) / 10
+	s.rt.After(ReconcilePeriod+phase, p.reconcile)
+	return p
+}
+
+func (p *bPeer) onMessage(c *proto.Conn, m proto.Message) {
+	if m.Kind >= 1000 {
+		p.rs.Handle(c, m)
+		return
+	}
+	switch m.Kind {
+	case kindPush:
+		p.onPush(m.Payload.(blockMsg))
+	case kindHello:
+		p.onHello(c)
+	case kindReject:
+		if sp, ok := c.State(p.node).(*sender); ok {
+			p.dropSender(sp)
+		}
+	case kindRecon:
+		p.onRecon(c, m.Payload.(reconMsg))
+	case kindAvail:
+		p.onAvail(c, m.Payload.(availMsg))
+	case kindReq:
+		p.onReq(c, m.Payload.(reqMsg))
+	case kindBlock:
+		p.onBlockArrival(c, m.Payload.(blockMsg))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tree push: disjoint subsets down branches
+
+// pushPump advances the source push: each block goes to exactly one child
+// (disjoint data down branches), round-robin, skipping full pipes.
+func (p *bPeer) pushPump() {
+	if p.s.Complete() {
+		return
+	}
+	for p.srcNext < p.s.cfg.NumBlocks {
+		if !p.forwardToOneChild(p.srcNext) {
+			break
+		}
+		p.srcNext++
+	}
+	if p.srcNext < p.s.cfg.NumBlocks && !p.pumpPending {
+		p.pumpPending = true
+		p.s.rt.After(pushPumpInterval, func() {
+			p.pumpPending = false
+			p.pushPump()
+		})
+	}
+}
+
+// forwardToOneChild sends the block to the next child with queue room; it
+// returns false if every child pipe is full.
+func (p *bPeer) forwardToOneChild(id int) bool {
+	n := len(p.treeChildren)
+	if n == 0 {
+		return true
+	}
+	for try := 0; try < n; try++ {
+		c := p.treeChildren[p.fwdChild]
+		p.fwdChild = (p.fwdChild + 1) % n
+		if c.Closed() || c.QueueLen(p.node) >= pushQueueDepth {
+			continue
+		}
+		c.Send(p.node, proto.Message{
+			Kind:    kindPush,
+			Size:    p.s.cfg.BlockSize + 12,
+			Payload: blockMsg{id: id},
+		})
+		p.s.PushesSent++
+		return true
+	}
+	return false
+}
+
+// onPush stores a pushed block and forwards it to one child (interior
+// nodes keep the stream flowing down, disjointly). If all child pipes are
+// full the forward is dropped: the mesh will recover it — that lossy
+// forwarding is Bullet's core design point.
+func (p *bPeer) onPush(bm blockMsg) {
+	p.accept(bm.id)
+	if len(p.treeChildren) > 0 {
+		if !p.forwardToOneChild(bm.id) {
+			p.s.TreeDropped++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mesh pull
+
+// onDistribute refreshes candidates and maintains the fixed-size sender set.
+func (p *bPeer) onDistribute(epoch int, set []ransub.Candidate) {
+	p.cands = set
+	if p.complete {
+		return
+	}
+	// Replace senders that produced nothing useful for two periods.
+	now := p.s.rt.Now()
+	for _, sp := range p.sortedSenders() {
+		if now-sp.gotUseful > sim.Time(2*p.s.cfg.RanSubPeriod) {
+			p.dropSender(sp)
+		}
+	}
+	// Fill up to the fixed target, preferring useful candidates.
+	type scored struct {
+		id netem.NodeID
+		u  float64
+	}
+	var cs []scored
+	for _, c := range set {
+		if c.ID == p.node.ID || c.Summary == nil || c.Summary.Count == 0 {
+			continue
+		}
+		if _, dup := p.senders[c.ID]; dup {
+			continue
+		}
+		u := c.Summary.UsefulTo(p.store, 64)
+		if u <= 0 {
+			continue
+		}
+		cs = append(cs, scored{c.ID, u})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].u != cs[j].u {
+			return cs[i].u > cs[j].u
+		}
+		return cs[i].id < cs[j].id
+	})
+	for _, c := range cs {
+		if len(p.senders) >= SenderTarget {
+			break
+		}
+		p.addSender(c.id)
+	}
+}
+
+func (p *bPeer) sortedSenders() []*sender {
+	out := make([]*sender, 0, len(p.senders))
+	for _, sp := range p.senders {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (p *bPeer) addSender(id netem.NodeID) {
+	c := p.node.Dial(id)
+	c.IsData = isDataKind
+	sp := &sender{id: id, conn: c, gotUseful: p.s.rt.Now()}
+	p.senders[id] = sp
+	c.SetState(p.node, sp)
+	c.Send(p.node, proto.Message{Kind: kindHello, Size: 16})
+	// Kick off reconciliation for this sender immediately.
+	c.Send(p.node, proto.Message{
+		Kind:    kindRecon,
+		Size:    p.store.Bitmap().WireSize() + 16,
+		Payload: reconMsg{have: p.store.Bitmap().Clone()},
+	})
+}
+
+func (p *bPeer) dropSender(sp *sender) {
+	if sp.closed {
+		return
+	}
+	sp.closed = true
+	delete(p.senders, sp.id)
+	for id, owner := range p.claimed {
+		if owner == sp.id {
+			delete(p.claimed, id)
+		}
+	}
+	sp.conn.Close(p.node)
+}
+
+// reconcile runs the periodic pull: send our bitmap to every sender; their
+// availability answers drive requests. This period-driven exchange (vs
+// Bullet's self-clocked diffs) is a defining difference from Bullet'.
+func (p *bPeer) reconcile() {
+	if p.complete {
+		return
+	}
+	for _, sp := range p.sortedSenders() {
+		sp.conn.Send(p.node, proto.Message{
+			Kind:    kindRecon,
+			Size:    p.store.Bitmap().WireSize() + 16,
+			Payload: reconMsg{have: p.store.Bitmap().Clone()},
+		})
+	}
+	p.s.rt.After(ReconcilePeriod, p.reconcile)
+}
+
+// onHello registers a mesh receiver up to the fixed cap.
+func (p *bPeer) onHello(c *proto.Conn) {
+	id := c.Peer(p.node).ID
+	if old, dup := p.receivers[id]; dup {
+		old.closed = true
+		delete(p.receivers, id)
+	}
+	if len(p.receivers) >= ReceiverCap {
+		c.Send(p.node, proto.Message{Kind: kindReject, Size: 16})
+		return
+	}
+	rp := &receiver{id: id, conn: c}
+	p.receivers[id] = rp
+	c.SetState(p.node, rp)
+}
+
+// onRecon answers with the ids the requester is missing that we hold.
+func (p *bPeer) onRecon(c *proto.Conn, rm reconMsg) {
+	var ids []int
+	limit := 4 * MaxOutstanding * int(ReconcilePeriod) // plenty per period
+	for _, b := range append([]int(nil), p.storeArrivals()...) {
+		if b < rm.have.Len() && !rm.have.Get(b) {
+			ids = append(ids, b)
+			if len(ids) >= limit {
+				break
+			}
+		}
+	}
+	c.Send(p.node, proto.Message{Kind: kindAvail, Size: float64(len(ids))*4 + 16, Payload: availMsg{ids: ids}})
+}
+
+func (p *bPeer) storeArrivals() []int {
+	ids, _ := p.store.ArrivalsSince(0)
+	return ids
+}
+
+// onAvail merges an availability answer and issues requests.
+func (p *bPeer) onAvail(c *proto.Conn, am availMsg) {
+	sp, ok := c.State(p.node).(*sender)
+	if !ok || sp.closed {
+		return
+	}
+	sp.avail = sp.avail[:0]
+	for _, id := range am.ids {
+		if !p.store.Have(id) {
+			sp.avail = append(sp.avail, id)
+		}
+	}
+	p.fill(sp)
+}
+
+// fill requests up to the fixed outstanding window, in random order
+// (Bullet's request ordering predates the rarest strategies of Bullet').
+func (p *bPeer) fill(sp *sender) {
+	if sp.closed || p.complete {
+		return
+	}
+	for sp.outstanding < MaxOutstanding && len(sp.avail) > 0 {
+		i := p.rng.Pick(len(sp.avail))
+		id := sp.avail[i]
+		sp.avail[i] = sp.avail[len(sp.avail)-1]
+		sp.avail = sp.avail[:len(sp.avail)-1]
+		if p.store.Have(id) {
+			continue
+		}
+		if _, taken := p.claimed[id]; taken {
+			continue
+		}
+		p.claimed[id] = sp.id
+		sp.outstanding++
+		p.s.RequestsSent++
+		sp.conn.Send(p.node, proto.Message{Kind: kindReq, Size: 16, Payload: reqMsg{id: id}})
+	}
+}
+
+// onReq serves a block.
+func (p *bPeer) onReq(c *proto.Conn, rm reqMsg) {
+	if !p.store.Have(rm.id) {
+		return
+	}
+	c.Send(p.node, proto.Message{Kind: kindBlock, Size: p.s.cfg.BlockSize + 12, Payload: blockMsg{id: rm.id}})
+}
+
+// onBlockArrival handles a pulled block.
+func (p *bPeer) onBlockArrival(c *proto.Conn, bm blockMsg) {
+	sp, ok := c.State(p.node).(*sender)
+	if !ok || sp.closed {
+		return
+	}
+	if sp.outstanding > 0 {
+		sp.outstanding--
+	}
+	delete(p.claimed, bm.id)
+	if p.accept(bm.id) {
+		sp.gotUseful = p.s.rt.Now()
+	}
+	p.fill(sp)
+}
+
+// accept stores a block; returns whether it was novel.
+func (p *bPeer) accept(id int) bool {
+	if !p.store.Add(id, p.s.rt.Now()) {
+		p.s.Duplicates++
+		return false
+	}
+	if p.s.cfg.OnBlock != nil {
+		p.s.cfg.OnBlock(p.node.ID, id, p.store.Count())
+	}
+	if !p.complete && p.store.Complete() {
+		p.complete = true
+		p.s.nodeCompleted(p)
+	}
+	return true
+}
+
+func (p *bPeer) onConnClose(c *proto.Conn) {
+	switch st := c.State(p.node).(type) {
+	case *sender:
+		if !st.closed {
+			st.closed = true
+			delete(p.senders, st.id)
+			for id, owner := range p.claimed {
+				if owner == st.id {
+					delete(p.claimed, id)
+				}
+			}
+		}
+	case *receiver:
+		if !st.closed {
+			st.closed = true
+			delete(p.receivers, st.id)
+		}
+	}
+}

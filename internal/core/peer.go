@@ -1,0 +1,980 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/ransub"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/trace"
+)
+
+// diffReqBackoff is how long a receiver waits before re-asking a sender for
+// a diff after receiving an empty one, bounding control chatter when a
+// sender has nothing new (the self-clocking of §3.3.4 plus damping).
+const diffReqBackoff = 1.0
+
+// peer is the Bullet' state machine at one node.
+type peer struct {
+	s     *Session
+	node  *proto.Node
+	store *proto.BlockStore
+	rs    *ransub.Agent
+	rng   *sim.RNG
+
+	isSource bool
+
+	senders   map[netem.NodeID]*senderPeer
+	receivers map[netem.NodeID]*receiverPeer
+
+	// rarity[b] counts how many current senders advertise block b; the
+	// rarest strategies minimize it.
+	rarity []int
+	// claimed maps a block id to the sender it is currently requested
+	// from, preventing duplicate pulls (§2.4).
+	claimed map[int]netem.NodeID
+
+	maxSenders   int
+	maxReceivers int
+
+	// Previous-epoch observations for the Figure 2 hill climb.
+	prevNumSenders   int
+	prevNumReceivers int
+	prevInBW         float64
+	prevOutBW        float64
+	lastInTotal      float64
+	lastOutTotal     float64
+	firstEpoch       bool
+	// probeSendersDown / probeReceiversDown steer the "try out a new
+	// connection or close a current connection" exploration (§3.3.1) when
+	// the hill climb is otherwise quiescent: a punished upward probe
+	// flips to downward probing and vice versa.
+	probeSendersDown   bool
+	probeReceiversDown bool
+
+	// candidates is the latest RanSub distribute set.
+	candidates []ransub.Candidate
+
+	// meters measures arrival bandwidth per sender for the flow-control
+	// formula ("bandwidth measured at the receiver", §3.3.3).
+	meters map[netem.NodeID]*trace.RateMeter
+
+	complete    bool
+	completedAt sim.Time
+	duplicates  int
+
+	// Source push state (source node only).
+	pushChildren []*proto.Conn
+	nextPush     int
+	pushedOnce   bool
+	pushEvent    *sim.Event
+}
+
+func newPeer(s *Session, id netem.NodeID) *peer {
+	p := &peer{
+		s:          s,
+		node:       s.rt.NewNode(id),
+		store:      proto.NewBlockStore(s.maxBlockID()),
+		rng:        s.rng.Stream(fmt.Sprintf("peer-%d", id)),
+		isSource:   id == s.cfg.Source,
+		senders:    make(map[netem.NodeID]*senderPeer),
+		receivers:  make(map[netem.NodeID]*receiverPeer),
+		rarity:     make([]int, s.maxBlockID()),
+		claimed:    make(map[int]netem.NodeID),
+		meters:     make(map[netem.NodeID]*trace.RateMeter),
+		firstEpoch: true,
+	}
+	if s.cfg.StaticPeers > 0 {
+		p.maxSenders = s.cfg.StaticPeers
+		p.maxReceivers = s.cfg.StaticPeers
+	} else {
+		p.maxSenders = DefaultPeerTarget
+		p.maxReceivers = DefaultPeerTarget
+	}
+	if s.cfg.MaxSendersCap > 0 && p.maxSenders > s.cfg.MaxSendersCap {
+		p.maxSenders = s.cfg.MaxSendersCap
+	}
+	if p.isSource {
+		// The source holds the whole file; in encoded mode blocks are
+		// generated lazily as the push stream advances.
+		if !s.cfg.Encoded {
+			for i := 0; i < s.cfg.NumBlocks; i++ {
+				p.store.Add(i, 0)
+			}
+		}
+		p.complete = true
+	}
+
+	p.rs = ransub.New(p.node, s.rng.Stream(fmt.Sprintf("ransub-%d", id)), s.cfg.RanSubPeriod, ransub.DefaultFanout)
+	p.rs.Summarize = p.summarize
+	p.rs.OnDistribute = p.onDistribute
+
+	p.node.OnMessage = p.onMessage
+	p.node.OnClose = p.onConnClose
+	return p
+}
+
+// summarize advertises this node's availability through RanSub. The source
+// only advertises itself once it has pushed the entire file (§3.3.5).
+func (p *peer) summarize() ransub.Candidate {
+	if p.isSource && !p.pushedOnce {
+		return ransub.Candidate{ID: p.node.ID, Summary: proto.NewSummary(proto.NewBlockStore(1))}
+	}
+	return ransub.Candidate{ID: p.node.ID, Summary: proto.NewSummary(p.store)}
+}
+
+// sortedSenders returns the sender set in id order: map iteration order is
+// randomized in Go, and the simulation must stay deterministic per seed.
+func (p *peer) sortedSenders() []*senderPeer {
+	out := make([]*senderPeer, 0, len(p.senders))
+	for _, sp := range p.senders {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (p *peer) sortedReceivers() []*receiverPeer {
+	out := make([]*receiverPeer, 0, len(p.receivers))
+	for _, rp := range p.receivers {
+		out = append(out, rp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+
+func (p *peer) onMessage(c *proto.Conn, m proto.Message) {
+	if m.Kind >= 1000 {
+		p.rs.Handle(c, m)
+		return
+	}
+	switch m.Kind {
+	case kindHello:
+		p.onHello(c)
+	case kindReject:
+		p.onReject(c)
+	case kindDiff:
+		p.onDiff(c, m.Payload.(diffMsg))
+	case kindDiffReq:
+		p.onDiffReq(c)
+	case kindRequest:
+		p.onRequest(c, m.Payload.(reqMsg))
+	case kindBlock:
+		p.onBlock(c, m.Payload.(blockMsg))
+	case kindPush:
+		p.onPush(c, m.Payload.(blockMsg))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side: establishing senders, requesting, receiving
+
+// addSender dials a candidate and sends the peering hello.
+func (p *peer) addSender(id netem.NodeID) {
+	if id == p.node.ID {
+		return
+	}
+	if _, dup := p.senders[id]; dup {
+		return
+	}
+	c := p.node.Dial(id)
+	c.IsData = isDataKind
+	sp := &senderPeer{
+		id:          id,
+		conn:        c,
+		advertised:  make(map[int]bool),
+		desired:     float64(InitialOutstanding),
+		markBlock:   -2,
+		lastArrival: p.s.rt.Now(),
+		addedAt:     p.s.rt.Now(),
+		lastUseful:  p.s.rt.Now(),
+	}
+	if p.s.cfg.StaticOutstanding > 0 {
+		sp.desired = float64(p.s.cfg.StaticOutstanding)
+	}
+	p.senders[id] = sp
+	p.meters[id] = trace.NewRateMeter(0.5, 24)
+	c.SetState(p.node, sp)
+	c.Send(p.node, proto.Message{Kind: kindHello, Size: 16})
+}
+
+// dropSender closes the peering and reclaims its outstanding requests.
+func (p *peer) dropSender(sp *senderPeer, closeConn bool) {
+	if sp.closed {
+		return
+	}
+	sp.closed = true
+	delete(p.senders, sp.id)
+	delete(p.meters, sp.id)
+	for id := range sp.advertised {
+		if p.rarity[id] > 0 {
+			p.rarity[id]--
+		}
+	}
+	for id, owner := range p.claimed {
+		if owner == sp.id {
+			delete(p.claimed, id)
+		}
+	}
+	if closeConn {
+		sp.conn.Close(p.node)
+	}
+	// Blocks freed from this sender may be requestable elsewhere.
+	for _, other := range p.sortedSenders() {
+		p.fillRequests(other)
+	}
+}
+
+// onReject handles a sender refusing the peering.
+func (p *peer) onReject(c *proto.Conn) {
+	if sp, ok := c.State(p.node).(*senderPeer); ok {
+		p.dropSender(sp, true)
+	}
+}
+
+// onDiff merges newly advertised blocks into the sender's availability.
+func (p *peer) onDiff(c *proto.Conn, d diffMsg) {
+	sp, ok := c.State(p.node).(*senderPeer)
+	if !ok || sp.closed {
+		return
+	}
+	added := 0
+	for _, id := range d.ids {
+		if id >= p.store.NumBlocks() || sp.advertised[id] {
+			continue
+		}
+		sp.advertised[id] = true
+		p.rarity[id]++
+		added++
+		if !p.store.Have(id) {
+			sp.avail = append(sp.avail, id)
+		}
+	}
+	if added > 0 {
+		sp.lastUseful = p.s.rt.Now()
+	}
+	sp.diffReqPending = false
+	if added == 0 && !d.initial && !p.complete {
+		// Sender had nothing new: back off before asking again instead of
+		// ping-ponging empty diffs at wire speed.
+		sp.diffReqPending = true
+		p.s.rt.After(diffReqBackoff, func() {
+			if sp.closed || p.complete {
+				return
+			}
+			sp.diffReqPending = false
+			p.fillRequests(sp)
+		})
+	}
+	p.fillRequests(sp)
+}
+
+// fillRequests issues block requests up to the sender's outstanding limit,
+// choosing blocks by the configured strategy.
+func (p *peer) fillRequests(sp *senderPeer) {
+	if sp.closed || p.complete {
+		return
+	}
+	now := p.s.rt.Now()
+	for sp.outstanding < sp.limit() {
+		id, ok := p.pickBlock(sp)
+		if !ok {
+			break
+		}
+		p.claimed[id] = sp.id
+		sp.outstanding++
+		p.s.RequestsSent++
+		if sp.markPending && sp.markBlock == -1 {
+			sp.markBlock = id // the marked request (§3.3.3 settling)
+		}
+		sp.conn.Send(p.node, proto.Message{
+			Kind: kindRequest,
+			Size: 24,
+			Payload: reqMsg{
+				id:          id,
+				totalInBW:   p.inRate(),
+				perSenderBW: p.meters[sp.id].Rate(now, 5),
+			},
+		})
+	}
+	// Nearly out of known blocks at this sender: ask for a fresh diff
+	// before going idle (§3.3.4 self-clocking).
+	if len(sp.avail) <= sp.limit() && !sp.diffReqPending && !p.complete {
+		sp.diffReqPending = true
+		sp.conn.Send(p.node, proto.Message{Kind: kindDiffReq, Size: 16})
+	}
+}
+
+// pickBlock selects and removes the next block to request from sp per the
+// session's request strategy. Blocks already held or claimed elsewhere are
+// skipped (and compacted out of the availability list as encountered).
+func (p *peer) pickBlock(sp *senderPeer) (int, bool) {
+	usable := func(id int) bool {
+		if p.store.Have(id) {
+			return false
+		}
+		_, taken := p.claimed[id]
+		return !taken
+	}
+	avail := sp.avail
+
+	switch p.s.cfg.Strategy {
+	case FirstEncountered:
+		for len(avail) > 0 {
+			id := avail[0]
+			avail = avail[1:]
+			if usable(id) {
+				sp.avail = avail
+				return id, true
+			}
+		}
+		sp.avail = avail
+		return 0, false
+
+	case Random:
+		for len(avail) > 0 {
+			i := p.rng.Pick(len(avail))
+			id := avail[i]
+			avail[i] = avail[len(avail)-1]
+			avail = avail[:len(avail)-1]
+			if usable(id) {
+				sp.avail = avail
+				return id, true
+			}
+		}
+		sp.avail = avail
+		return 0, false
+
+	case Rarest, RarestRandom:
+		// Compact unusable entries, then sample for the rarest.
+		w := 0
+		for _, id := range avail {
+			if usable(id) {
+				avail[w] = id
+				w++
+			}
+		}
+		avail = avail[:w]
+		sp.avail = avail
+		if len(avail) == 0 {
+			return 0, false
+		}
+		const rarestSample = 64
+		n := len(avail)
+		sampleN := n
+		if sampleN > rarestSample {
+			sampleN = rarestSample
+		}
+		bestRarity := math.MaxInt
+		var ties []int
+		for k := 0; k < sampleN; k++ {
+			i := k
+			if n > rarestSample {
+				i = p.rng.Pick(n)
+			}
+			r := p.rarity[avail[i]]
+			switch {
+			case r < bestRarity:
+				bestRarity = r
+				ties = ties[:0]
+				ties = append(ties, i)
+			case r == bestRarity:
+				ties = append(ties, i)
+			}
+		}
+		bestIdx := ties[0]
+		if p.s.cfg.Strategy == RarestRandom {
+			bestIdx = ties[p.rng.Pick(len(ties))]
+		} else {
+			for _, i := range ties { // deterministic: lowest block id
+				if avail[i] < avail[bestIdx] {
+					bestIdx = i
+				}
+			}
+		}
+		id := avail[bestIdx]
+		avail[bestIdx] = avail[len(avail)-1]
+		sp.avail = avail[:len(avail)-1]
+		return id, true
+	}
+	return 0, false
+}
+
+// onBlock processes a pulled block arrival.
+func (p *peer) onBlock(c *proto.Conn, bm blockMsg) {
+	sp, ok := c.State(p.node).(*senderPeer)
+	if !ok || sp.closed {
+		return
+	}
+	now := p.s.rt.Now()
+	if sp.outstanding > 0 {
+		sp.outstanding--
+	}
+	sp.lastArrival = now
+	delete(p.claimed, bm.id)
+	p.meters[sp.id].Add(now, p.s.cfg.BlockSize)
+	p.s.BlocksPulled++
+	p.manageOutstanding(sp, bm)
+	p.acceptBlock(bm.id)
+	p.fillRequests(sp)
+}
+
+// manageOutstanding is the §3.3.3/Figure 3 controller, run on every block
+// arrival unless a marked request is still settling.
+//
+// Baseline: desired = (requests still in flight) + 1 — keep one more block
+// requested than currently outstanding. Corrections: idle time at the
+// sender (wasted < 0) converts, at the receiver-measured bandwidth, into
+// additional blocks we could have had requested (α = 0.4); sender queue
+// depth beyond the one-block goal decreases the window (β = 0.226). When
+// wasted > 0 already reflects a deep queue (inFront > 1) only the queue
+// term applies, avoiding the double count the paper warns about. Increases
+// take the ceiling (to actually saturate TCP); after any change the next
+// request is marked and adjustments freeze until it arrives.
+func (p *peer) manageOutstanding(sp *senderPeer, bm blockMsg) {
+	if p.s.cfg.StaticOutstanding > 0 {
+		return
+	}
+	if sp.markPending {
+		if bm.id == sp.markBlock {
+			sp.markPending = false
+			sp.markBlock = -2
+		}
+		return
+	}
+	bw := p.meters[sp.id].Rate(p.s.rt.Now(), 5)
+	desired := float64(sp.outstanding) + 1
+	if bm.wasted <= 0 || bm.inFront <= 1 {
+		desired -= AlphaWasted * bm.wasted * bw / p.s.cfg.BlockSize
+	}
+	if bm.wasted > 0 && bm.inFront > 1 {
+		desired -= BetaQueued * float64(bm.inFront-1)
+	}
+	if desired < 1 {
+		desired = 1
+	}
+	switch {
+	case desired > sp.desired:
+		sp.desired = math.Ceil(desired)
+	case desired < sp.desired:
+		sp.desired = desired
+	default:
+		return
+	}
+	sp.markPending = true
+	sp.markBlock = -1 // adopt the next request sent as the marked one
+}
+
+// acceptBlock stores a novel block, updates stats, fires hooks, and
+// triggers diff propagation to receivers.
+func (p *peer) acceptBlock(id int) {
+	now := p.s.rt.Now()
+	if !p.store.Add(id, now) {
+		p.duplicates++
+		p.s.Duplicates++
+		return
+	}
+	if p.s.cfg.OnBlock != nil {
+		p.s.cfg.OnBlock(p.node.ID, id, p.store.Count())
+	}
+	if !p.complete && p.store.Count() >= p.s.cfg.goalBlocks() {
+		p.complete = true
+		p.completedAt = now
+		// Release claims; no further requests will be issued.
+		p.claimed = make(map[int]netem.NodeID)
+		p.s.nodeCompleted(p)
+	}
+	// Self-clocked diffs: receivers with nothing queued from us hear about
+	// new blocks immediately (§3.3.4). In the periodic-diff ablation the
+	// per-receiver timers handle propagation instead.
+	if p.s.cfg.PeriodicDiffs > 0 {
+		return
+	}
+	for _, rp := range p.sortedReceivers() {
+		if rp.conn.QueueLen(p.node) == 0 {
+			p.sendDiff(rp, false)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sender side: accepting receivers, serving diffs and blocks
+
+// onHello admits or rejects a new receiver.
+func (p *peer) onHello(c *proto.Conn) {
+	hardMax := MaxPeers
+	if p.s.cfg.StaticPeers > 0 {
+		hardMax = p.s.cfg.StaticPeers
+	}
+	if len(p.receivers) >= hardMax {
+		p.s.Rejects++
+		c.Send(p.node, proto.Message{Kind: kindReject, Size: 16})
+		return
+	}
+	peerID := c.Peer(p.node).ID
+	if old, dup := p.receivers[peerID]; dup {
+		// Stale peering replaced by a fresh dial.
+		p.dropReceiver(old, true)
+	}
+	rp := &receiverPeer{id: peerID, conn: c}
+	p.receivers[peerID] = rp
+	c.SetState(p.node, rp)
+	p.sendDiff(rp, true)
+	if period := p.s.cfg.PeriodicDiffs; period > 0 {
+		var tick func()
+		tick = func() {
+			if rp.closed {
+				return
+			}
+			p.sendDiff(rp, false)
+			p.s.rt.After(period, tick)
+		}
+		p.s.rt.After(period, tick)
+	}
+}
+
+// sendDiff advertises arrivals since the receiver's cursor. The initial
+// diff after a hello describes everything held so far (sent as a bitmap on
+// the wire); increments are id lists.
+func (p *peer) sendDiff(rp *receiverPeer, initial bool) {
+	ids, cursor := p.store.ArrivalsSince(rp.diffCursor)
+	if len(ids) == 0 && !initial {
+		return
+	}
+	rp.diffCursor = cursor
+	out := make([]int, len(ids))
+	copy(out, ids)
+	size := float64(len(out))*4 + 16
+	if initial {
+		size = p.store.Bitmap().WireSize() + 16
+	}
+	p.s.DiffsSent++
+	rp.conn.Send(p.node, proto.Message{Kind: kindDiff, Size: size, Payload: diffMsg{ids: out, initial: initial}})
+}
+
+// onDiffReq answers an explicit diff request even when empty, so the
+// receiver's backoff logic can engage.
+func (p *peer) onDiffReq(c *proto.Conn) {
+	rp, ok := c.State(p.node).(*receiverPeer)
+	if !ok {
+		return
+	}
+	ids, cursor := p.store.ArrivalsSince(rp.diffCursor)
+	rp.diffCursor = cursor
+	out := make([]int, len(ids))
+	copy(out, ids)
+	p.s.DiffsSent++
+	c.Send(p.node, proto.Message{Kind: kindDiff, Size: float64(len(out))*4 + 16, Payload: diffMsg{ids: out}})
+}
+
+// onRequest serves one block, measuring the in_front and wasted values the
+// receiver's controller consumes (§3.3.3: "with each block it sends,
+// sender measures and reports two values to the receiver").
+func (p *peer) onRequest(c *proto.Conn, rm reqMsg) {
+	rp, ok := c.State(p.node).(*receiverPeer)
+	if !ok {
+		return
+	}
+	rp.totalInBW = rm.totalInBW
+	rp.perSenderBW = rm.perSenderBW
+	if !p.store.Have(rm.id) {
+		return // stale request; receiver will re-request elsewhere
+	}
+	inFront := c.QueueLen(p.node)
+	var wasted float64
+	if idle := c.IdleFor(p.node); idle > 0 {
+		wasted = -idle
+	} else {
+		// Positive wasted: service time ≈ queued bytes at the
+		// receiver-observed per-connection rate.
+		rate := rm.perSenderBW
+		if rate <= 0 {
+			rate = p.s.cfg.BlockSize // pessimistic floor: 1 block/s
+		}
+		wasted = c.QueueBytes(p.node) / rate
+	}
+	bm := blockMsg{id: rm.id, inFront: inFront, wasted: wasted}
+	c.Send(p.node, proto.Message{Kind: kindBlock, Size: p.s.cfg.BlockSize + 16, Payload: bm})
+}
+
+// dropReceiver tears down a receiver peering.
+func (p *peer) dropReceiver(rp *receiverPeer, closeConn bool) {
+	if rp.closed {
+		return
+	}
+	rp.closed = true
+	delete(p.receivers, rp.id)
+	if closeConn {
+		rp.conn.Close(p.node)
+	}
+}
+
+// onConnClose handles either side of a peering disappearing.
+func (p *peer) onConnClose(c *proto.Conn) {
+	switch st := c.State(p.node).(type) {
+	case *senderPeer:
+		if !st.closed {
+			p.dropSender(st, false)
+		}
+	case *receiverPeer:
+		if !st.closed {
+			p.dropReceiver(st, false)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Epoch processing: the Figure 2 hill climb, trimming, and peer acquisition
+
+// onDistribute is the heart of adaptive peering: runs every RanSub epoch.
+func (p *peer) onDistribute(epoch int, set []ransub.Candidate) {
+	p.candidates = set
+	now := p.s.rt.Now()
+
+	inTotal := p.node.InMeter.Total()
+	outTotal := p.node.OutMeter.Total()
+	inBW := (inTotal - p.lastInTotal) / p.s.cfg.RanSubPeriod
+	outBW := (outTotal - p.lastOutTotal) / p.s.cfg.RanSubPeriod
+	p.lastInTotal = inTotal
+	p.lastOutTotal = outTotal
+
+	// Refresh per-peer epoch rates.
+	for _, sp := range p.senders {
+		got := sp.conn.DeliveredFrom(sp.conn.Peer(p.node))
+		sp.rate = (got - sp.epochBytes) / p.s.cfg.RanSubPeriod
+		sp.epochBytes = got
+	}
+	for _, rp := range p.receivers {
+		sent := rp.conn.DeliveredFrom(p.node)
+		rp.rate = (sent - rp.epochBytes) / p.s.cfg.RanSubPeriod
+		rp.epochBytes = sent
+	}
+
+	if !p.complete {
+		p.reapStaleSenders(now)
+		p.replaceExhaustedSenders(now)
+	}
+
+	// The hill climb on peer-set size is what StaticPeers pins; trimming
+	// of underperformers (and replacement from fresh candidates) stays on
+	// in both modes — without rotation a statically-sized peer set locks
+	// into whatever it first connected to.
+	if p.s.cfg.StaticPeers == 0 && !p.firstEpoch {
+		p.manageSenders(inBW)
+		p.manageReceivers(outBW)
+		p.enforcePeerTargets()
+	}
+	p.trimSenders(now)
+	p.trimReceivers()
+	if !p.complete {
+		p.acquireSenders()
+	}
+
+	p.prevNumSenders = len(p.senders)
+	p.prevNumReceivers = len(p.receivers)
+	p.prevInBW = inBW
+	p.prevOutBW = outBW
+	p.firstEpoch = false
+}
+
+// manageSenders implements the Figure 2 hill climb on MAX_SENDERS, plus
+// the exploration the prose describes: when the set size has been stable
+// at the target for a whole epoch (no gradient to follow), the node probes
+// — trying out one more connection by default, or closing one if upward
+// probes keep getting punished.
+func (p *peer) manageSenders(inBW float64) {
+	if len(p.senders) != p.maxSenders {
+		return
+	}
+	switch {
+	case p.prevNumSenders == 0:
+		p.maxSenders++ // try to add a new peer by default
+	case len(p.senders) > p.prevNumSenders:
+		if inBW > p.prevInBW {
+			p.maxSenders++ // bandwidth went up: try adding a sender
+			p.probeSendersDown = false
+		} else {
+			p.maxSenders-- // adding a new sender was bad
+			p.probeSendersDown = true
+		}
+	case len(p.senders) < p.prevNumSenders:
+		if inBW > p.prevInBW {
+			p.maxSenders-- // losing a sender made us faster: lose another
+			p.probeSendersDown = true
+		} else {
+			p.maxSenders++ // losing a sender was bad
+			p.probeSendersDown = false
+		}
+	default:
+		// Quiescent at target: probe.
+		if p.probeSendersDown {
+			p.maxSenders--
+		} else {
+			p.maxSenders++
+		}
+	}
+	p.clampPeerTargets()
+}
+
+// manageReceivers runs the same hill climb on MAX_RECEIVERS with outgoing
+// bandwidth.
+func (p *peer) manageReceivers(outBW float64) {
+	if len(p.receivers) != p.maxReceivers {
+		return
+	}
+	switch {
+	case p.prevNumReceivers == 0:
+		p.maxReceivers++
+	case len(p.receivers) > p.prevNumReceivers:
+		if outBW > p.prevOutBW {
+			p.maxReceivers++
+			p.probeReceiversDown = false
+		} else {
+			p.maxReceivers--
+			p.probeReceiversDown = true
+		}
+	case len(p.receivers) < p.prevNumReceivers:
+		if outBW > p.prevOutBW {
+			p.maxReceivers--
+			p.probeReceiversDown = true
+		} else {
+			p.maxReceivers++
+			p.probeReceiversDown = false
+		}
+	default:
+		if p.probeReceiversDown {
+			p.maxReceivers--
+		} else {
+			p.maxReceivers++
+		}
+	}
+	p.clampPeerTargets()
+}
+
+// enforcePeerTargets sheds peers when an adaptive target moved below the
+// current set size: without this, a lowered MAX_SENDERS would never take
+// effect. The slowest sender / lowest-ratio receiver goes first.
+func (p *peer) enforcePeerTargets() {
+	for len(p.senders) > p.maxSenders {
+		var worst *senderPeer
+		for _, sp := range p.sortedSenders() {
+			if worst == nil || sp.rate < worst.rate {
+				worst = sp
+			}
+		}
+		if worst == nil {
+			break
+		}
+		p.dropSender(worst, true)
+	}
+	for len(p.receivers) > p.maxReceivers {
+		var worst *receiverPeer
+		for _, rp := range p.sortedReceivers() {
+			if worst == nil || rp.rate < worst.rate {
+				worst = rp
+			}
+		}
+		if worst == nil {
+			break
+		}
+		p.dropReceiver(worst, true)
+	}
+}
+
+func (p *peer) clampPeerTargets() {
+	if p.maxSenders < MinPeers {
+		p.maxSenders = MinPeers
+	}
+	if p.maxSenders > MaxPeers {
+		p.maxSenders = MaxPeers
+	}
+	if c := p.s.cfg.MaxSendersCap; c > 0 && p.maxSenders > c {
+		p.maxSenders = c
+	}
+	if p.maxReceivers < MinPeers {
+		p.maxReceivers = MinPeers
+	}
+	if p.maxReceivers > MaxPeers {
+		p.maxReceivers = MaxPeers
+	}
+}
+
+// trimSenders disconnects senders more than TrimSigma standard deviations
+// below the mean received bandwidth (§3.3.1), never dropping below
+// MinPeers. Senders younger than one epoch are exempt: their partial-epoch
+// rates are not comparable yet.
+func (p *peer) trimSenders(now sim.Time) {
+	if len(p.senders) <= p.trimFloor() {
+		return
+	}
+	var st trace.Stats
+	for _, sp := range p.sortedSenders() {
+		st.Add(sp.rate)
+	}
+	if st.Std() <= 0 {
+		return // all approximately equal: close nobody
+	}
+	cut := st.Mean() - TrimSigma*st.Std()
+	var victims []*senderPeer
+	for _, sp := range p.sortedSenders() {
+		if sp.rate < cut && float64(now-sp.addedAt) >= p.s.cfg.RanSubPeriod {
+			victims = append(victims, sp)
+		}
+	}
+	sort.SliceStable(victims, func(i, j int) bool { return victims[i].rate < victims[j].rate })
+	for _, sp := range victims {
+		if len(p.senders) <= p.trimFloor() {
+			break
+		}
+		p.dropSender(sp, true)
+	}
+}
+
+// trimFloor is the sender/receiver count below which trimming stops: the
+// paper's hard minimum in adaptive mode, or just below the pinned size in
+// static mode (so rotation remains possible).
+func (p *peer) trimFloor() int {
+	if s := p.s.cfg.StaticPeers; s > 0 {
+		f := s - 2
+		if f < 1 {
+			f = 1
+		}
+		return f
+	}
+	return MinPeers
+}
+
+// trimReceivers disconnects receivers by the ratio rule (§3.3.1): those
+// receiving the smallest fraction of their total incoming bandwidth from
+// us are the least harmed by a disconnect.
+func (p *peer) trimReceivers() {
+	if len(p.receivers) <= p.trimFloor() {
+		return
+	}
+	ratio := func(rp *receiverPeer) float64 {
+		total := rp.totalInBW
+		if total <= 0 {
+			total = math.Max(rp.rate, 1)
+		}
+		return rp.rate / total
+	}
+	var st trace.Stats
+	for _, rp := range p.sortedReceivers() {
+		st.Add(ratio(rp))
+	}
+	if st.Std() <= 0 {
+		return
+	}
+	cut := st.Mean() - TrimSigma*st.Std()
+	var victims []*receiverPeer
+	for _, rp := range p.sortedReceivers() {
+		if ratio(rp) < cut {
+			victims = append(victims, rp)
+		}
+	}
+	sort.SliceStable(victims, func(i, j int) bool { return ratio(victims[i]) < ratio(victims[j]) })
+	for _, rp := range victims {
+		if len(p.receivers) <= p.trimFloor() {
+			break
+		}
+		p.dropReceiver(rp, true)
+	}
+}
+
+// reapStaleSenders closes senders that have not delivered anything for
+// several epochs despite outstanding requests — the failure-detection
+// backstop that reclaims blocks claimed on a dead or drastically slowed
+// connection.
+func (p *peer) reapStaleSenders(now sim.Time) {
+	staleAfter := sim.Time(3 * p.s.cfg.RanSubPeriod)
+	for _, sp := range p.sortedSenders() {
+		if sp.outstanding > 0 && now-sp.lastArrival > staleAfter {
+			p.dropSender(sp, true)
+		}
+	}
+}
+
+// replaceExhaustedSenders drops senders that have advertised nothing new
+// for two epochs and have nothing left for us, provided the current
+// candidate set offers a useful replacement. This is the data-driven side
+// of Bullet's peering: a peer with no useful blocks is dead weight no
+// matter how fast its link is.
+func (p *peer) replaceExhaustedSenders(now sim.Time) {
+	if len(p.candidates) == 0 || p.store.Missing() == 0 {
+		return
+	}
+	// Is there at least one non-sender candidate with useful data?
+	anyUseful := false
+	for _, c := range p.candidates {
+		if c.ID == p.node.ID || c.Summary == nil {
+			continue
+		}
+		if _, dup := p.senders[c.ID]; dup {
+			continue
+		}
+		if c.Summary.UsefulTo(p.store, 64) > 0 {
+			anyUseful = true
+			break
+		}
+	}
+	if !anyUseful {
+		return
+	}
+	idleCut := sim.Time(2 * p.s.cfg.RanSubPeriod)
+	for _, sp := range p.sortedSenders() {
+		if len(sp.avail) == 0 && sp.outstanding == 0 && now-sp.lastUseful > idleCut {
+			p.dropSender(sp, true)
+		}
+	}
+}
+
+// acquireSenders fills the sender set up to MAX_SENDERS from the current
+// candidate set, preferring candidates with the most useful blocks.
+func (p *peer) acquireSenders() {
+	need := p.maxSenders - len(p.senders)
+	if need <= 0 || len(p.candidates) == 0 {
+		return
+	}
+	type scored struct {
+		id     netem.NodeID
+		useful float64
+	}
+	var cands []scored
+	for _, c := range p.candidates {
+		if c.ID == p.node.ID {
+			continue
+		}
+		if _, dup := p.senders[c.ID]; dup {
+			continue
+		}
+		if c.Summary == nil || c.Summary.Count == 0 {
+			continue
+		}
+		u := c.Summary.UsefulTo(p.store, 64)
+		if u <= 0 && p.store.Missing() > 0 {
+			continue
+		}
+		cands = append(cands, scored{c.ID, u})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].useful != cands[j].useful {
+			return cands[i].useful > cands[j].useful
+		}
+		return cands[i].id < cands[j].id
+	})
+	for i := 0; i < len(cands) && need > 0; i++ {
+		p.addSender(cands[i].id)
+		need--
+	}
+}
+
+// inRate returns this node's total incoming bandwidth over a recent window.
+func (p *peer) inRate() float64 {
+	return p.node.InMeter.Rate(p.s.rt.Now(), 5)
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/tree"
+)
+
+// Message kinds used by Bullet'. RanSub kinds (>= 1000) pass through to the
+// embedded agents.
+const (
+	kindHello   = iota + 1 // receiver→sender: establish a peering link
+	kindReject             // sender→receiver: at capacity, go away
+	kindDiff               // sender→receiver: availability diff
+	kindDiffReq            // receiver→sender: send me a diff now
+	kindRequest            // receiver→sender: request one block
+	kindBlock              // sender→receiver: a pulled block
+	kindPush               // source→tree child: a pushed block
+)
+
+type diffMsg struct {
+	ids     []int
+	initial bool
+}
+
+type reqMsg struct {
+	id int
+	// totalInBW is the receiver's total incoming bandwidth, piggybacked for
+	// the sender's ManageReceivers ratio rule (§3.3.1).
+	totalInBW float64
+	// perSenderBW is the receiver's measured bandwidth from this sender,
+	// used by the sender to convert queue depth into service time.
+	perSenderBW float64
+}
+
+type blockMsg struct {
+	id int
+	// inFront and wasted are the sender-side measurements reported with
+	// every block (§3.3.3): queued blocks ahead of this one, and idle
+	// (negative) or queue-service (positive) time.
+	inFront int
+	wasted  float64
+}
+
+// Session is one Bullet' dissemination run over an existing proto.Runtime.
+type Session struct {
+	rt  *proto.Runtime
+	cfg Config
+	rng *sim.RNG
+
+	Tree  *tree.Tree
+	peers map[netem.NodeID]*peer
+
+	completed int
+	doneAt    sim.Time
+
+	// Stats aggregated across all nodes.
+	Duplicates   int // blocks received more than once
+	RequestsSent int
+	DiffsSent    int
+	BlocksPulled int
+	BlocksPushed int
+	Rejects      int
+}
+
+// NewSession builds the control tree, nodes, and RanSub agents for one run.
+// Call Start to begin dissemination. All members must already exist in the
+// runtime's topology; the session registers proto nodes for them.
+func NewSession(rt *proto.Runtime, cfg Config, rng *sim.RNG) *Session {
+	cfg = cfg.withDefaults()
+	if cfg.NumBlocks <= 0 {
+		panic("core: NumBlocks must be positive")
+	}
+	if len(cfg.Members) < 2 {
+		panic("core: need at least a source and one receiver")
+	}
+	s := &Session{
+		rt:    rt,
+		cfg:   cfg,
+		rng:   rng,
+		peers: make(map[netem.NodeID]*peer),
+	}
+	s.Tree = tree.Build(cfg.Members, cfg.Source, cfg.TreeDegree, rng.Stream("tree"))
+	for _, id := range cfg.Members {
+		s.peers[id] = newPeer(s, id)
+	}
+	return s
+}
+
+// Start wires the control tree and begins pushing and epoch processing.
+func (s *Session) Start() {
+	// Dial tree links parent→child and hand them to the RanSub agents.
+	conns := make(map[[2]netem.NodeID]*proto.Conn)
+	s.Tree.Walk(func(id netem.NodeID) {
+		p := s.peers[id]
+		for _, cid := range s.Tree.Children(id) {
+			c := p.node.Dial(cid)
+			c.IsData = isDataKind
+			conns[[2]netem.NodeID{id, cid}] = c
+		}
+	})
+	s.Tree.Walk(func(id netem.NodeID) {
+		p := s.peers[id]
+		children := make(map[netem.NodeID]*proto.Conn)
+		for _, cid := range s.Tree.Children(id) {
+			children[cid] = conns[[2]netem.NodeID{id, cid}]
+		}
+		var parent *proto.Conn
+		if id != s.Tree.Root() {
+			parent = conns[[2]netem.NodeID{s.Tree.Parent(id), id}]
+		}
+		p.rs.SetLinks(id == s.Tree.Root(), parent, children)
+		if id == s.cfg.Source {
+			p.initSource(children)
+		}
+	})
+	s.peers[s.cfg.Source].rs.Start()
+	s.peers[s.cfg.Source].startPushing()
+}
+
+// Complete reports whether every non-source member has finished.
+func (s *Session) Complete() bool { return s.completed >= len(s.cfg.Members)-1 }
+
+// DoneAt returns the time the last node completed (zero until Complete).
+func (s *Session) DoneAt() sim.Time { return s.doneAt }
+
+// Peer returns the session state for one member (for tests and harness).
+func (s *Session) Peer(id netem.NodeID) *PeerInfo {
+	p := s.peers[id]
+	if p == nil {
+		return nil
+	}
+	return &PeerInfo{
+		Blocks:         p.store.Count(),
+		Complete:       p.complete,
+		Senders:        len(p.senders),
+		Receivers:      len(p.receivers),
+		MaxSenders:     p.maxSenders,
+		MaxReceivers:   p.maxReceivers,
+		CompletedAt:    p.completedAt,
+		ArrivalTimes:   p.store.ArrivalTimes(),
+		DuplicateCount: p.duplicates,
+	}
+}
+
+// PeerInfo is a read-only snapshot of one node's progress.
+type PeerInfo struct {
+	Blocks         int
+	Complete       bool
+	Senders        int
+	Receivers      int
+	MaxSenders     int
+	MaxReceivers   int
+	CompletedAt    sim.Time
+	ArrivalTimes   []sim.Time
+	DuplicateCount int
+}
+
+func (s *Session) nodeCompleted(p *peer) {
+	s.completed++
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(p.node.ID)
+	}
+	if s.Complete() {
+		s.doneAt = s.rt.Now()
+	}
+}
+
+func isDataKind(kind int) bool { return kind == kindBlock || kind == kindPush }
+
+// maxBlockID returns the store capacity needed: the exact file size when
+// unencoded, or the goal plus slack for the encoded stream.
+func (s *Session) maxBlockID() int {
+	if !s.cfg.Encoded {
+		return s.cfg.NumBlocks
+	}
+	return s.cfg.goalBlocks() + s.cfg.NumBlocks/4 + 64
+}
+
+func (s *Session) String() string {
+	return fmt.Sprintf("bullet'(%d nodes, %d blocks x %.0fB, %v)",
+		len(s.cfg.Members), s.cfg.NumBlocks, s.cfg.BlockSize, s.cfg.Strategy)
+}
+
+// senderPeer is the receiver-side state for one mesh sender (a node we
+// pull blocks from).
+type senderPeer struct {
+	id   netem.NodeID
+	conn *proto.Conn
+
+	// avail holds block ids advertised by this sender that we do not yet
+	// hold; order is arrival order (FirstEncountered consumes from the
+	// head, other strategies swap-remove).
+	avail []int
+	// advertised tracks every id this sender ever advertised (for rarity
+	// bookkeeping on disconnect).
+	advertised map[int]bool
+
+	outstanding int
+	// desired is the ManageOutstanding controller state (float; ceiling
+	// applied on increases per §3.3.3).
+	desired float64
+	// markPending freezes controller adjustments until the marked request
+	// arrives.
+	markPending bool
+	markBlock   int
+
+	// diffReqPending limits explicit diff requests to one in flight.
+	diffReqPending bool
+
+	// epochBytes tracks DeliveredFrom at the last epoch for rate
+	// calculation; rate is the result.
+	epochBytes float64
+	rate       float64
+
+	// lastArrival is the time a block last arrived (staleness detection).
+	lastArrival sim.Time
+	// addedAt is when the peering was established; senders younger than
+	// one epoch are exempt from trimming.
+	addedAt sim.Time
+	// lastUseful is the last time this sender advertised something new;
+	// exhausted senders are replaced when fresher candidates exist.
+	lastUseful sim.Time
+
+	closed bool
+}
+
+func (sp *senderPeer) limit() int {
+	l := int(sp.desired + 1e-9)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// receiverPeer is the sender-side state for one mesh receiver (a node that
+// pulls blocks from us).
+type receiverPeer struct {
+	id   netem.NodeID
+	conn *proto.Conn
+
+	// diffCursor indexes our arrival log: everything before it has been
+	// advertised to this receiver (each block advertised exactly once).
+	diffCursor int
+	// pendingReqs counts block requests accepted but not yet served.
+	pendingReqs int
+
+	// totalInBW and perSenderBW are the receiver's piggybacked reports.
+	totalInBW   float64
+	perSenderBW float64
+
+	epochBytes float64
+	rate       float64
+
+	closed bool
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+)
+
+// Source sending strategy (§3.3.5): the source iterates over file blocks,
+// sending each block once to one of its control-tree children, round-robin,
+// skipping children whose pipes are full so bandwidth is never wasted
+// forcing a block on a node that is not ready. Only after every block has
+// been handed out once does the source advertise itself in RanSub, at which
+// point arbitrary nodes may pull from it like any other peer.
+
+// pushQueueDepth is the per-child cap on queued pushed blocks. Small enough
+// that a slow child does not hoard unsent blocks, large enough to keep its
+// pipe busy between pump rounds.
+const pushQueueDepth = 3
+
+// pushPumpInterval is how often the source tops up child queues (seconds).
+const pushPumpInterval = 0.05
+
+// initSource stores the control-tree child connections in deterministic
+// child-id order.
+func (p *peer) initSource(children map[netem.NodeID]*proto.Conn) {
+	ids := make([]netem.NodeID, 0, len(children))
+	for id := range children {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p.pushChildren = append(p.pushChildren, children[id])
+	}
+}
+
+// startPushing begins the periodic push pump.
+func (p *peer) startPushing() {
+	if len(p.pushChildren) == 0 {
+		p.pushedOnce = true
+		return
+	}
+	p.pushPump()
+}
+
+// pushPump tops up each child queue with the next unsent blocks.
+func (p *peer) pushPump() {
+	if p.s.Complete() {
+		return // every receiver is done; stop generating events
+	}
+	total := p.s.cfg.NumBlocks
+	if p.s.cfg.Encoded {
+		// Encoded mode: a continuous stream of fresh block ids, bounded
+		// only by store capacity (§2.2 digital-fountain behaviour).
+		total = p.s.maxBlockID()
+	}
+	child := 0
+	for p.nextPush < total {
+		sent := false
+		for try := 0; try < len(p.pushChildren); try++ {
+			c := p.pushChildren[child]
+			child = (child + 1) % len(p.pushChildren)
+			if c.Closed() || c.QueueLen(p.node) >= pushQueueDepth {
+				continue
+			}
+			id := p.nextPush
+			if p.s.cfg.Encoded && !p.store.Have(id) {
+				p.store.Add(id, p.s.rt.Now()) // generate on demand
+			}
+			c.Send(p.node, proto.Message{
+				Kind:    kindPush,
+				Size:    p.s.cfg.BlockSize + 16,
+				Payload: blockMsg{id: id},
+			})
+			p.s.BlocksPushed++
+			p.nextPush++
+			sent = true
+			break
+		}
+		if !sent {
+			break // all pipes full; retry next pump
+		}
+	}
+	if p.nextPush >= p.s.cfg.NumBlocks && !p.pushedOnce {
+		// Entire file handed out once: advertise in RanSub (§3.3.5).
+		p.pushedOnce = true
+	}
+	if p.nextPush < total {
+		p.pushEvent = p.s.rt.After(pushPumpInterval, p.pushPump)
+	}
+}
+
+// onPush receives a source-pushed block at a control-tree child.
+func (p *peer) onPush(c *proto.Conn, bm blockMsg) {
+	p.acceptBlock(bm.id)
+}

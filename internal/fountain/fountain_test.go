@@ -1,0 +1,257 @@
+package fountain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomData(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+func TestRoundTripSequential(t *testing.T) {
+	data := randomData(100*1024, 1)
+	enc := NewEncoder(data, 1024, 42)
+	dec := NewDecoder(enc.K(), 1024, 42)
+	for id := 0; !dec.Complete(); id++ {
+		if id > enc.K()*3 {
+			t.Fatalf("not decoded after %d blocks for k=%d", id, enc.K())
+		}
+		if _, err := dec.Add(id, enc.Block(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := dec.Reconstruct(len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstructed data differs from original")
+	}
+}
+
+func TestRoundTripRandomOrderWithGaps(t *testing.T) {
+	data := randomData(64*1024, 2)
+	enc := NewEncoder(data, 2048, 7)
+	dec := NewDecoder(enc.K(), 2048, 7)
+	// Receive a shuffled subset of the first 4k ids (simulating loss).
+	ids := rand.New(rand.NewSource(3)).Perm(4 * enc.K())
+	for _, id := range ids {
+		if dec.Complete() {
+			break
+		}
+		if _, err := dec.Add(id, enc.Block(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.Complete() {
+		t.Fatalf("not decoded from %d candidate blocks", 4*enc.K())
+	}
+	if !bytes.Equal(dec.Reconstruct(len(data)), data) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestReceptionOverheadSmall(t *testing.T) {
+	// The paper observes 3-5% typical reception overhead; allow generous
+	// slack for small k while still catching a broken distribution.
+	data := randomData(512*1024, 4)
+	enc := NewEncoder(data, 1024, 11) // k = 512
+	dec := NewDecoder(enc.K(), 1024, 11)
+	for id := 0; !dec.Complete(); id++ {
+		if id > 2*enc.K() {
+			t.Fatalf("overhead exceeded 100%%")
+		}
+		dec.Add(id, enc.Block(id))
+	}
+	if ov := dec.Overhead(); ov > 0.35 {
+		t.Fatalf("reception overhead %.1f%% too high for k=512", ov*100)
+	}
+}
+
+func TestOverheadShrinksWithK(t *testing.T) {
+	// The paper's §2.2 claim: ~4% reception overhead for tens-of-MB files
+	// (k in the thousands), with the caveat that it is "difficult to make
+	// this overhead arbitrarily small". Verify the trend and the
+	// paper-scale magnitude.
+	if testing.Short() {
+		t.Skip("k=6400 decode is slow")
+	}
+	overheadAt := func(k int) float64 {
+		data := randomData(k*512, int64(k))
+		enc := NewEncoder(data, 512, 5)
+		var tot float64
+		const runs = 2
+		for r := 0; r < runs; r++ {
+			dec := NewDecoder(enc.K(), 512, 5)
+			perm := rand.New(rand.NewSource(int64(r))).Perm(3 * k)
+			for _, id := range perm {
+				if dec.Complete() {
+					break
+				}
+				dec.Add(id, enc.Block(id))
+			}
+			if !dec.Complete() {
+				t.Fatalf("k=%d run %d failed to decode", k, r)
+			}
+			tot += dec.Overhead()
+		}
+		return tot / runs
+	}
+	small := overheadAt(256)
+	large := overheadAt(6400)
+	if large >= small {
+		t.Fatalf("overhead did not shrink with k: k=256 %.1f%%, k=6400 %.1f%%", small*100, large*100)
+	}
+	if large > 0.08 {
+		t.Fatalf("k=6400 overhead %.1f%%, want <= 8%% (paper: 3-5%%)", large*100)
+	}
+}
+
+func TestNonlinearProgress(t *testing.T) {
+	// §2.2: with ~n received blocks, only a fraction of the file is
+	// typically reconstructable — progress must lag reception early on.
+	data := randomData(256*1024, 5)
+	enc := NewEncoder(data, 1024, 13) // k = 256
+	dec := NewDecoder(enc.K(), 1024, 13)
+	half := enc.K() / 2
+	for id := 0; id < half; id++ {
+		dec.Add(id, enc.Block(id))
+	}
+	if dec.Recovered() >= half {
+		t.Fatalf("recovered %d from %d blocks: decoding is implausibly linear", dec.Recovered(), half)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	data := randomData(8*1024, 6)
+	enc := NewEncoder(data, 1024, 17)
+	dec := NewDecoder(enc.K(), 1024, 17)
+	b := enc.Block(0)
+	dec.Add(0, b)
+	before := dec.Received()
+	dec.Add(0, b)
+	if dec.Received() != before {
+		t.Fatal("duplicate counted twice")
+	}
+}
+
+func TestWrongSizeRejected(t *testing.T) {
+	dec := NewDecoder(8, 1024, 1)
+	if _, err := dec.Add(0, make([]byte, 512)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestReconstructBeforeCompletePanics(t *testing.T) {
+	dec := NewDecoder(8, 1024, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Reconstruct before Complete did not panic")
+		}
+	}()
+	dec.Reconstruct(100)
+}
+
+func TestDistProperties(t *testing.T) {
+	for _, k := range []int{10, 100, 1000} {
+		d := NewDist(k)
+		if p1 := d.DegreeOneProb(); p1 <= 0 || p1 > 0.2 {
+			t.Fatalf("k=%d: P(degree=1) = %v implausible", k, p1)
+		}
+		// CDF must be monotone, ending at 1.
+		prev := 0.0
+		for _, v := range d.cdf {
+			if v < prev {
+				t.Fatalf("k=%d: cdf not monotone", k)
+			}
+			prev = v
+		}
+		if prev != 1 {
+			t.Fatalf("k=%d: cdf ends at %v", k, prev)
+		}
+		// Sampled degrees must lie in [1, k] and average near the soliton
+		// expectation (~ln k).
+		rng := rand.New(rand.NewSource(9))
+		sum := 0
+		for i := 0; i < 5000; i++ {
+			deg := d.Sample(rng)
+			if deg < 1 || deg > k {
+				t.Fatalf("degree %d out of [1,%d]", deg, k)
+			}
+			sum += deg
+		}
+		mean := float64(sum) / 5000
+		if mean < 1 || mean > 30 {
+			t.Fatalf("k=%d: mean sampled degree %v implausible", k, mean)
+		}
+	}
+}
+
+func TestNeighborsDeterministic(t *testing.T) {
+	d := NewDist(100)
+	a := neighbors(100, 5, 123, d)
+	b := neighbors(100, 5, 123, d)
+	if len(a) != len(b) {
+		t.Fatal("same (seed,id) produced different neighbor counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (seed,id) produced different neighbors")
+		}
+	}
+	c := neighbors(100, 6, 123, d)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical neighbor sets")
+	}
+}
+
+func TestPaddingHandled(t *testing.T) {
+	// File length not a multiple of block size: the tail is zero-padded
+	// internally and truncated on reconstruction.
+	data := randomData(10*1024+137, 7)
+	enc := NewEncoder(data, 1024, 23)
+	dec := NewDecoder(enc.K(), 1024, 23)
+	for id := 0; !dec.Complete(); id++ {
+		dec.Add(id, enc.Block(id))
+	}
+	if !bytes.Equal(dec.Reconstruct(len(data)), data) {
+		t.Fatal("padded reconstruction mismatch")
+	}
+}
+
+// Property: any file decodes correctly from its own encoded stream,
+// regardless of content.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []byte, seed int64) bool {
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		if len(raw) > 8192 {
+			raw = raw[:8192]
+		}
+		enc := NewEncoder(raw, 256, seed)
+		dec := NewDecoder(enc.K(), 256, seed)
+		for id := 0; !dec.Complete(); id++ {
+			if id > enc.K()*6+60 {
+				return false
+			}
+			dec.Add(id, enc.Block(id))
+		}
+		return bytes.Equal(dec.Reconstruct(len(raw)), raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

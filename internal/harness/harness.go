@@ -1,0 +1,220 @@
+// Package harness builds and runs the paper's experiments: it assembles a
+// topology, dynamics schedule, and protocol sessions on one simulation
+// engine, runs to completion, and renders the same curves the paper plots.
+// Every figure of the evaluation section (Figures 4-15) has a generator
+// here; bench_test.go and cmd/bulletctl call them.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"bulletprime/internal/bittorrent"
+	"bulletprime/internal/bullet"
+	"bulletprime/internal/core"
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/splitstream"
+	"bulletprime/internal/trace"
+)
+
+// System is the common face of one protocol session.
+type System interface {
+	Start()
+	Complete() bool
+	DoneAt() sim.Time
+}
+
+// Rig is one experiment instance: engine, emulated network, runtime.
+type Rig struct {
+	Eng     *sim.Engine
+	Net     *netem.Network
+	RT      *proto.Runtime
+	Members []netem.NodeID
+	Master  *sim.RNG
+
+	// Done records per-node completion times as sessions call back.
+	Done map[netem.NodeID]sim.Time
+}
+
+// NewRig creates a rig over the given topology. The master RNG seeds every
+// subsystem stream; protocol variants compared "under identical conditions"
+// share the topology draw by sharing the seed.
+func NewRig(topo *netem.Topology, seed int64) *Rig {
+	eng := sim.NewEngine()
+	master := sim.NewRNG(seed)
+	net := netem.New(eng, topo, master.Stream("net"))
+	rt := proto.NewRuntime(eng, net)
+	members := make([]netem.NodeID, topo.N)
+	for i := range members {
+		members[i] = netem.NodeID(i)
+	}
+	return &Rig{
+		Eng:     eng,
+		Net:     net,
+		RT:      rt,
+		Members: members,
+		Master:  master,
+		Done:    make(map[netem.NodeID]sim.Time),
+	}
+}
+
+// record returns an OnComplete callback capturing completion times.
+func (r *Rig) record() func(netem.NodeID) {
+	return func(id netem.NodeID) { r.Done[id] = r.Eng.Now() }
+}
+
+// CDF converts recorded completion times to a CDF.
+func (r *Rig) CDF() *trace.CDF {
+	c := &trace.CDF{}
+	for _, t := range r.Done {
+		c.Add(float64(t))
+	}
+	return c
+}
+
+// Workload describes the file being distributed.
+type Workload struct {
+	FileBytes float64
+	BlockSize float64
+}
+
+// NumBlocks returns the block count for the workload.
+func (w Workload) NumBlocks() int {
+	n := int(math.Ceil(w.FileBytes / w.BlockSize))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ProtoKind selects a protocol implementation.
+type ProtoKind int
+
+// The four systems of Figure 4/5/14.
+const (
+	KindBulletPrime ProtoKind = iota
+	KindBullet
+	KindBitTorrent
+	KindSplitStream
+)
+
+// String returns the figure-legend name.
+func (k ProtoKind) String() string {
+	switch k {
+	case KindBulletPrime:
+		return "BulletPrime"
+	case KindBullet:
+		return "Bullet"
+	case KindBitTorrent:
+		return "BitTorrent"
+	case KindSplitStream:
+		return "SplitStream"
+	}
+	return "unknown"
+}
+
+// BuildSystem instantiates a protocol session on the rig. The coreMut hook
+// lets figure generators tweak Bullet' config (strategies, static peers,
+// outstanding limits); it is ignored for the other systems.
+func (r *Rig) BuildSystem(kind ProtoKind, w Workload, coreMut func(*core.Config)) System {
+	onComplete := r.record()
+	switch kind {
+	case KindBulletPrime:
+		cfg := core.Config{
+			Source:     0,
+			Members:    r.Members,
+			NumBlocks:  w.NumBlocks(),
+			BlockSize:  w.BlockSize,
+			Strategy:   core.RarestRandom,
+			OnComplete: onComplete,
+		}
+		if coreMut != nil {
+			coreMut(&cfg)
+		}
+		return core.NewSession(r.RT, cfg, r.Master.Stream("bulletprime"))
+	case KindBullet:
+		return bullet.NewSession(r.RT, bullet.Config{
+			Source:     0,
+			Members:    r.Members,
+			NumBlocks:  w.NumBlocks(),
+			BlockSize:  w.BlockSize,
+			OnComplete: onComplete,
+		}, r.Master.Stream("bullet"))
+	case KindBitTorrent:
+		return bittorrent.NewSession(r.RT, bittorrent.Config{
+			Source:     0,
+			Members:    r.Members,
+			NumBlocks:  w.NumBlocks(),
+			BlockSize:  w.BlockSize,
+			OnComplete: onComplete,
+		}, r.Master.Stream("bittorrent"))
+	case KindSplitStream:
+		return splitstream.NewSession(r.RT, splitstream.Config{
+			Source:     0,
+			Members:    r.Members,
+			NumBlocks:  w.NumBlocks(),
+			BlockSize:  w.BlockSize,
+			OnComplete: onComplete,
+		}, r.Master.Stream("splitstream"))
+	}
+	panic(fmt.Sprintf("harness: unknown protocol kind %d", kind))
+}
+
+// RunResult captures one session's outcome.
+type RunResult struct {
+	Label    string
+	CDF      *trace.CDF
+	PerNode  map[netem.NodeID]sim.Time
+	Finished bool
+	// Overheads from the runtime's accounting.
+	ControlBytes float64
+	DataBytes    float64
+}
+
+// ControlOverhead returns control bytes as a fraction of all bytes.
+func (r *RunResult) ControlOverhead() float64 {
+	total := r.ControlBytes + r.DataBytes
+	if total == 0 {
+		return 0
+	}
+	return r.ControlBytes / total
+}
+
+// RunOne builds a fresh rig on topoFn's topology, applies dynamics (may be
+// nil), runs the system until all nodes finish or deadline passes.
+func RunOne(label string, seed int64, topoFn func(*sim.RNG) *netem.Topology,
+	dynamics func(*Rig), kind ProtoKind, w Workload, coreMut func(*core.Config),
+	deadline sim.Time) *RunResult {
+
+	topo := topoFn(sim.NewRNG(seed).Stream("topo"))
+	rig := NewRig(topo, seed)
+	sys := rig.BuildSystem(kind, w, coreMut)
+	if dynamics != nil {
+		dynamics(rig)
+	}
+	sys.Start()
+	runUntilComplete(rig, sys, deadline)
+	return &RunResult{
+		Label:        label,
+		CDF:          rig.CDF(),
+		PerNode:      rig.Done,
+		Finished:     sys.Complete(),
+		ControlBytes: rig.RT.ControlBytes,
+		DataBytes:    rig.RT.DataBytes,
+	}
+}
+
+// runUntilComplete steps the engine in slices so completion can stop the
+// run early instead of simulating until the deadline.
+func runUntilComplete(rig *Rig, sys System, deadline sim.Time) {
+	const slice = 5.0
+	for rig.Eng.Now() < deadline && !sys.Complete() {
+		next := rig.Eng.Now() + sim.Time(slice)
+		if next > deadline {
+			next = deadline
+		}
+		rig.Eng.RunUntil(next)
+	}
+}

@@ -1,0 +1,262 @@
+// Package netcode implements random linear network coding over GF(2) — the
+// Avalanche-style extension the paper explicitly sets aside in §2.2 ("we
+// assume that only the source is capable of encoding the file, and do not
+// consider the potential benefits of network coding [1]") and §5 discusses
+// as future-relevant work.
+//
+// A coded block is a coefficient vector c ∈ GF(2)^k plus the XOR of the
+// source blocks selected by c. Any node holding rows of rank r can *recode*:
+// emit fresh random combinations of its rows without decoding first — the
+// property that distinguishes network coding from source-only fountain
+// codes. A receiver decodes once it has accumulated k linearly independent
+// rows, via online Gaussian elimination.
+//
+// Compared with the LT codes in internal/fountain, reception overhead is
+// near zero (a random GF(2) row is dependent with probability ≈ 2^-(k-r)),
+// at the cost of k bits of coefficients per block and O(k²) elimination
+// work — the trade the paper's Avalanche discussion (§5) describes.
+package netcode
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Coeffs is a GF(2) coefficient vector over k source blocks.
+type Coeffs []uint64
+
+// NewCoeffs allocates an all-zero vector for k blocks.
+func NewCoeffs(k int) Coeffs { return make(Coeffs, (k+63)/64) }
+
+// Bit reports coefficient i.
+func (c Coeffs) Bit(i int) bool { return c[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetBit sets coefficient i.
+func (c Coeffs) SetBit(i int) { c[i>>6] |= 1 << (uint(i) & 63) }
+
+// Xor adds (XORs) other into c.
+func (c Coeffs) Xor(other Coeffs) {
+	for i := range c {
+		c[i] ^= other[i]
+	}
+}
+
+// IsZero reports whether every coefficient is zero.
+func (c Coeffs) IsZero() bool {
+	for _, w := range c {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the vector.
+func (c Coeffs) Clone() Coeffs {
+	out := make(Coeffs, len(c))
+	copy(out, c)
+	return out
+}
+
+// leadingBit returns the index of the first set coefficient, or -1.
+func (c Coeffs) leadingBit() int {
+	for w, word := range c {
+		if word != 0 {
+			for b := 0; b < 64; b++ {
+				if word&(1<<uint(b)) != 0 {
+					return w*64 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Block is one coded block on the wire.
+type Block struct {
+	Coeffs Coeffs
+	Data   []byte
+}
+
+// WireSize returns the block's transfer size: payload plus k/8 coefficient
+// bytes — the coefficient overhead network coding pays per block.
+func (b Block) WireSize() int { return len(b.Data) + len(b.Coeffs)*8 }
+
+// Encoder produces coded blocks from the original file (used by the
+// source, which holds all k plaintext blocks).
+type Encoder struct {
+	k         int
+	blockSize int
+	blocks    [][]byte
+}
+
+// NewEncoder splits data into k zero-padded blocks.
+func NewEncoder(data []byte, blockSize int) *Encoder {
+	if blockSize <= 0 {
+		panic("netcode: blockSize must be positive")
+	}
+	k := (len(data) + blockSize - 1) / blockSize
+	if k == 0 {
+		k = 1
+	}
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		b := make([]byte, blockSize)
+		if off := i * blockSize; off < len(data) {
+			copy(b, data[off:])
+		}
+		blocks[i] = b
+	}
+	return &Encoder{k: k, blockSize: blockSize, blocks: blocks}
+}
+
+// K returns the number of source blocks.
+func (e *Encoder) K() int { return e.k }
+
+// Emit produces a fresh random coded block: each source block participates
+// with probability 1/2 (never the all-zero vector).
+func (e *Encoder) Emit(rng *rand.Rand) Block {
+	c := NewCoeffs(e.k)
+	for {
+		for w := range c {
+			c[w] = rng.Uint64()
+		}
+		// Mask tail bits beyond k.
+		if tail := e.k & 63; tail != 0 {
+			c[len(c)-1] &= (1 << uint(tail)) - 1
+		}
+		if !c.IsZero() {
+			break
+		}
+	}
+	data := make([]byte, e.blockSize)
+	for i := 0; i < e.k; i++ {
+		if c.Bit(i) {
+			xorBytes(data, e.blocks[i])
+		}
+	}
+	return Block{Coeffs: c, Data: data}
+}
+
+func xorBytes(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Decoder accumulates coded rows and decodes by online Gaussian
+// elimination; it can also recode before decoding completes.
+type Decoder struct {
+	k         int
+	blockSize int
+	// pivots[i] is the row whose leading coefficient is i (nil if none).
+	pivots []*Block
+	rank   int
+	// received counts all rows ingested, including dependent ones.
+	received int
+}
+
+// NewDecoder prepares a decoder/recoder for k source blocks.
+func NewDecoder(k, blockSize int) *Decoder {
+	return &Decoder{k: k, blockSize: blockSize, pivots: make([]*Block, k)}
+}
+
+// Rank returns the number of linearly independent rows held.
+func (d *Decoder) Rank() int { return d.rank }
+
+// Received returns how many rows were ingested in total.
+func (d *Decoder) Received() int { return d.received }
+
+// Complete reports whether decoding is possible (full rank).
+func (d *Decoder) Complete() bool { return d.rank == d.k }
+
+// Overhead returns received/k − 1 once complete.
+func (d *Decoder) Overhead() float64 { return float64(d.received)/float64(d.k) - 1 }
+
+// Add ingests a coded row, reporting whether it increased the rank
+// (innovative) — the quantity Avalanche-style systems negotiate to avoid
+// wasting bandwidth on non-innovative blocks.
+func (d *Decoder) Add(b Block) (innovative bool, err error) {
+	if len(b.Data) != d.blockSize {
+		return false, fmt.Errorf("netcode: payload %d bytes, want %d", len(b.Data), d.blockSize)
+	}
+	if len(b.Coeffs) != len(NewCoeffs(d.k)) {
+		return false, fmt.Errorf("netcode: coefficient vector sized for wrong k")
+	}
+	d.received++
+	row := Block{Coeffs: b.Coeffs.Clone(), Data: append([]byte(nil), b.Data...)}
+	for {
+		lead := row.Coeffs.leadingBit()
+		if lead < 0 {
+			return false, nil // dependent row
+		}
+		p := d.pivots[lead]
+		if p == nil {
+			d.pivots[lead] = &row
+			d.rank++
+			return true, nil
+		}
+		row.Coeffs.Xor(p.Coeffs)
+		xorBytes(row.Data, p.Data)
+	}
+}
+
+// Recode emits a fresh random combination of the rows held so far. It
+// panics if no rows are held. The emitted block is innovative to any peer
+// whose subspace does not already contain it — no decoding required.
+func (d *Decoder) Recode(rng *rand.Rand) Block {
+	if d.rank == 0 {
+		panic("netcode: recode with no rows")
+	}
+	out := Block{Coeffs: NewCoeffs(d.k), Data: make([]byte, d.blockSize)}
+	nonzero := false
+	for {
+		for _, p := range d.pivots {
+			if p == nil {
+				continue
+			}
+			if rng.Intn(2) == 1 {
+				out.Coeffs.Xor(p.Coeffs)
+				xorBytes(out.Data, p.Data)
+				nonzero = true
+			}
+		}
+		if nonzero && !out.Coeffs.IsZero() {
+			return out
+		}
+		// All coin flips came up zero (or cancelled): retry.
+		for i := range out.Coeffs {
+			out.Coeffs[i] = 0
+		}
+		for i := range out.Data {
+			out.Data[i] = 0
+		}
+		nonzero = false
+	}
+}
+
+// Reconstruct returns the original file truncated to origLen. It panics if
+// the decoder is not complete.
+func (d *Decoder) Reconstruct(origLen int) []byte {
+	if !d.Complete() {
+		panic("netcode: Reconstruct before Complete")
+	}
+	// Back-substitute: reduce each pivot row to a unit vector.
+	for i := d.k - 1; i >= 0; i-- {
+		row := d.pivots[i]
+		for j := i + 1; j < d.k; j++ {
+			if row.Coeffs.Bit(j) {
+				row.Coeffs.Xor(d.pivots[j].Coeffs)
+				xorBytes(row.Data, d.pivots[j].Data)
+			}
+		}
+	}
+	out := make([]byte, 0, d.k*d.blockSize)
+	for i := 0; i < d.k; i++ {
+		out = append(out, d.pivots[i].Data...)
+	}
+	if origLen > len(out) {
+		origLen = len(out)
+	}
+	return out[:origLen]
+}

@@ -1,0 +1,212 @@
+package netcode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomData(n int, seed int64) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := randomData(64*1024, 1)
+	enc := NewEncoder(data, 1024)
+	dec := NewDecoder(enc.K(), 1024)
+	rng := rand.New(rand.NewSource(2))
+	for !dec.Complete() {
+		if dec.Received() > enc.K()+20 {
+			t.Fatalf("needed more than k+20 rows for k=%d", enc.K())
+		}
+		dec.Add(enc.Emit(rng))
+	}
+	if !bytes.Equal(dec.Reconstruct(len(data)), data) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestNearZeroOverhead(t *testing.T) {
+	// A random GF(2) row is dependent with probability 2^-(k-rank): the
+	// expected overhead is ~2 rows regardless of k. This is network
+	// coding's advantage over LT codes' percentage overhead.
+	data := randomData(256*512, 3)
+	enc := NewEncoder(data, 512) // k = 256
+	dec := NewDecoder(enc.K(), 512)
+	rng := rand.New(rand.NewSource(4))
+	for !dec.Complete() {
+		dec.Add(enc.Emit(rng))
+	}
+	if extra := dec.Received() - enc.K(); extra > 10 {
+		t.Fatalf("%d extra rows for k=%d, want ~2", extra, enc.K())
+	}
+}
+
+func TestInnovativeDetection(t *testing.T) {
+	data := randomData(8*512, 5)
+	enc := NewEncoder(data, 512)
+	dec := NewDecoder(enc.K(), 512)
+	rng := rand.New(rand.NewSource(6))
+	b := enc.Emit(rng)
+	inn, err := dec.Add(b)
+	if err != nil || !inn {
+		t.Fatalf("first row not innovative: %v %v", inn, err)
+	}
+	// The same row again is dependent.
+	inn, err = dec.Add(b)
+	if err != nil || inn {
+		t.Fatalf("duplicate row counted innovative")
+	}
+	if dec.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1", dec.Rank())
+	}
+}
+
+func TestRecodePreservesDecodability(t *testing.T) {
+	// Source -> relay -> sink, where the relay recodes without decoding:
+	// the defining network-coding property.
+	data := randomData(32*512, 7)
+	enc := NewEncoder(data, 512)
+	relay := NewDecoder(enc.K(), 512)
+	sink := NewDecoder(enc.K(), 512)
+	rng := rand.New(rand.NewSource(8))
+
+	// Relay collects full rank from the source.
+	for !relay.Complete() {
+		relay.Add(enc.Emit(rng))
+	}
+	// Sink hears ONLY recoded blocks from the relay.
+	for !sink.Complete() {
+		if sink.Received() > enc.K()+30 {
+			t.Fatal("sink starved on recoded blocks")
+		}
+		sink.Add(relay.Recode(rng))
+	}
+	if !bytes.Equal(sink.Reconstruct(len(data)), data) {
+		t.Fatal("recoded reconstruction mismatch")
+	}
+}
+
+func TestRecodeFromPartialRank(t *testing.T) {
+	// A relay with partial rank can still emit blocks innovative to an
+	// empty sink.
+	data := randomData(16*512, 9)
+	enc := NewEncoder(data, 512)
+	relay := NewDecoder(enc.K(), 512)
+	rng := rand.New(rand.NewSource(10))
+	for relay.Rank() < enc.K()/2 {
+		relay.Add(enc.Emit(rng))
+	}
+	sink := NewDecoder(enc.K(), 512)
+	for sink.Rank() < relay.Rank() {
+		if sink.Received() > enc.K()*4 {
+			t.Fatal("sink could not reach relay's rank")
+		}
+		sink.Add(relay.Recode(rng))
+	}
+	// The sink can never exceed the relay's subspace.
+	for i := 0; i < 50; i++ {
+		sink.Add(relay.Recode(rng))
+	}
+	if sink.Rank() > relay.Rank() {
+		t.Fatal("sink rank exceeded relay rank: coding created information")
+	}
+}
+
+func TestWireSizeIncludesCoefficients(t *testing.T) {
+	data := randomData(128*512, 11)
+	enc := NewEncoder(data, 512)
+	b := enc.Emit(rand.New(rand.NewSource(12)))
+	if b.WireSize() != 512+len(b.Coeffs)*8 {
+		t.Fatalf("WireSize = %d", b.WireSize())
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	dec := NewDecoder(8, 512)
+	if _, err := dec.Add(Block{Coeffs: NewCoeffs(8), Data: make([]byte, 100)}); err == nil {
+		t.Fatal("wrong payload size accepted")
+	}
+	if _, err := dec.Add(Block{Coeffs: NewCoeffs(1024), Data: make([]byte, 512)}); err == nil {
+		t.Fatal("wrong coefficient width accepted")
+	}
+}
+
+func TestReconstructBeforeCompletePanics(t *testing.T) {
+	dec := NewDecoder(8, 512)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	dec.Reconstruct(1)
+}
+
+func TestRecodeEmptyPanics(t *testing.T) {
+	dec := NewDecoder(8, 512)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	dec.Recode(rand.New(rand.NewSource(1)))
+}
+
+func TestCoeffsOps(t *testing.T) {
+	c := NewCoeffs(130)
+	c.SetBit(0)
+	c.SetBit(129)
+	if !c.Bit(0) || !c.Bit(129) || c.Bit(64) {
+		t.Fatal("bit ops wrong")
+	}
+	if c.leadingBit() != 0 {
+		t.Fatalf("leadingBit = %d", c.leadingBit())
+	}
+	d := c.Clone()
+	d.Xor(c)
+	if !d.IsZero() {
+		t.Fatal("x^x != 0")
+	}
+	if c.IsZero() {
+		t.Fatal("clone aliased parent")
+	}
+	if d.leadingBit() != -1 {
+		t.Fatal("zero vector has a leading bit")
+	}
+}
+
+// Property: any payload round-trips through encode/decode, including
+// through one layer of recoding.
+func TestPropertyRoundTripWithRelay(t *testing.T) {
+	f := func(raw []byte, seed int64) bool {
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		enc := NewEncoder(raw, 256)
+		rng := rand.New(rand.NewSource(seed))
+		relay := NewDecoder(enc.K(), 256)
+		for !relay.Complete() {
+			if relay.Received() > enc.K()+64 {
+				return false
+			}
+			relay.Add(enc.Emit(rng))
+		}
+		sink := NewDecoder(enc.K(), 256)
+		for !sink.Complete() {
+			if sink.Received() > enc.K()+64 {
+				return false
+			}
+			sink.Add(relay.Recode(rng))
+		}
+		return bytes.Equal(sink.Reconstruct(len(raw)), raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"bulletprime/internal/sim"
+)
+
+// TestSlowStartDelaysThroughput verifies the slow-start ramp integrates
+// with transfers: a short transfer on a long-RTT path takes visibly longer
+// than size/bandwidth because the window must open first.
+func TestSlowStartDelaysThroughput(t *testing.T) {
+	eng := sim.NewEngine()
+	topo := NewTopology(2)
+	topo.SetUniformAccess(Mbps(100), Mbps(100), 0)
+	topo.SetCoreBW(0, 1, Mbps(10))
+	topo.SetCoreBW(1, 0, Mbps(10))
+	topo.SetCoreDelay(0, 1, MS(100))
+	topo.SetCoreDelay(1, 0, MS(100))
+	net := New(eng, topo, sim.NewRNG(1).Stream("net"))
+	f := net.NewFlow(0, 1)
+	var done sim.Time
+	// 500 KB at 1.25 MB/s would be 0.4 s flat; slow start from 2 MSS on a
+	// 200 ms RTT needs ~7 doublings to reach 1.25 MB/s, adding ~1s+.
+	f.Start(500e3, func() { done = eng.Now() })
+	eng.Run()
+	if done < 0.8 {
+		t.Fatalf("transfer finished at %v: slow start had no effect", done)
+	}
+	if done > 5 {
+		t.Fatalf("transfer finished at %v: slow start far too slow", done)
+	}
+}
+
+// TestSlowStartRecomputeKeepsRamping ensures the engine keeps refreshing
+// rates while a flow is slow-start-limited even with no flow churn.
+func TestSlowStartRecomputeKeepsRamping(t *testing.T) {
+	eng := sim.NewEngine()
+	topo := NewTopology(2)
+	topo.SetUniformAccess(Mbps(100), Mbps(100), 0)
+	topo.SetCoreBW(0, 1, Mbps(10))
+	topo.SetCoreBW(1, 0, Mbps(10))
+	topo.SetCoreDelay(0, 1, MS(50))
+	topo.SetCoreDelay(1, 0, MS(50))
+	net := New(eng, topo, sim.NewRNG(2).Stream("net"))
+	f := net.NewFlow(0, 1)
+	f.Start(5e6, nil)
+	eng.RunUntil(0.2)
+	early := f.Rate()
+	eng.RunUntil(1.0)
+	late := f.Rate()
+	if late <= early {
+		t.Fatalf("rate did not ramp: %v at 0.2s vs %v at 1.0s", early, late)
+	}
+}
+
+// TestRecomputeCoalescing checks that a burst of flow churn within one
+// recompute interval triggers a bounded number of recomputations.
+func TestRecomputeCoalescing(t *testing.T) {
+	eng, net := testNet(10, Mbps(10), Mbps(10))
+	for i := 0; i < 9; i++ {
+		f := net.NewFlow(NodeID(i), NodeID((i+1)%10))
+		f.Start(1e5, nil)
+	}
+	eng.RunUntil(0.001) // all starts within one interval
+	if net.Recomputes > 3 {
+		t.Fatalf("%d recomputations for a single burst, want <= 3", net.Recomputes)
+	}
+}
+
+// TestProvisionalRateReasonable ensures a transfer starting between
+// recomputes is not starved or over-provisioned.
+func TestProvisionalRateReasonable(t *testing.T) {
+	eng, net := testNet(3, Mbps(8), Mbps(100))
+	a := net.NewFlow(0, 2)
+	a.Start(1e9, nil)
+	eng.RunUntil(1.0)
+	// Start a second flow into the same receiver mid-interval.
+	b := net.NewFlow(1, 2)
+	b.Start(1e6, nil)
+	if b.Rate() <= 0 {
+		t.Fatal("provisional rate is zero")
+	}
+	if b.Rate() > Mbps(8)+1 {
+		t.Fatalf("provisional rate %v exceeds the access link", b.Rate())
+	}
+	eng.RunUntil(1.1)
+	// After the recompute, the shared inbound link must be split fairly.
+	if math.Abs(a.Rate()-b.Rate()) > Mbps(8)*0.02 {
+		t.Fatalf("post-recompute rates unequal: %v vs %v", a.Rate(), b.Rate())
+	}
+}
+
+// TestManyFlowsOneBottleneck exercises the waterfill with a 50-flow fan-in.
+func TestManyFlowsOneBottleneck(t *testing.T) {
+	eng := sim.NewEngine()
+	n := 51
+	topo := NewTopology(n)
+	topo.SetUniformAccess(Mbps(100), Mbps(100), 0)
+	for i := 1; i < n; i++ {
+		topo.SetCoreBW(NodeID(i), 0, Mbps(100))
+	}
+	topo.AccessIn[0] = Mbps(10)
+	net := New(eng, topo, sim.NewRNG(3).Stream("net"))
+	var flows []*Flow
+	for i := 1; i < n; i++ {
+		f := net.NewFlow(NodeID(i), 0)
+		f.Start(1e9, nil)
+		flows = append(flows, f)
+	}
+	eng.RunUntil(1.0)
+	want := Mbps(10) / 50
+	var total float64
+	for _, f := range flows {
+		if math.Abs(f.Rate()-want) > want*0.02 {
+			t.Fatalf("flow rate %v, want ~%v", f.Rate(), want)
+		}
+		total += f.Rate()
+	}
+	if total > Mbps(10)*1.001 {
+		t.Fatalf("aggregate %v oversubscribes the 10 Mbps link", total)
+	}
+}
+
+// TestJitterFrequencyMatchesLoss samples DeliveryJitter and checks the
+// stall probability tracks the configured loss rate.
+func TestJitterFrequencyMatchesLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	_ = eng
+	topo := NewTopology(2)
+	topo.SetUniformAccess(Mbps(10), Mbps(10), 0)
+	topo.SetCoreBW(0, 1, Mbps(10))
+	topo.SetCoreLoss(0, 1, 0.10)
+	topo.SetCoreDelay(0, 1, MS(50))
+	topo.SetCoreDelay(1, 0, MS(50))
+	e2 := sim.NewEngine()
+	net := New(e2, topo, sim.NewRNG(4).Stream("net"))
+	f := net.NewFlow(0, 1)
+	stalls := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if f.DeliveryJitter(16384) > 0 {
+			stalls++
+		}
+	}
+	got := float64(stalls) / trials
+	if math.Abs(got-0.10) > 0.02 {
+		t.Fatalf("stall frequency %.3f, want ~0.10", got)
+	}
+}
+
+// TestRTOFloor checks the retransmission-timeout model.
+func TestRTOFloor(t *testing.T) {
+	if got := RTO(0.01); got != 0.2 {
+		t.Fatalf("RTO(10ms) = %v, want 0.2 floor", got)
+	}
+	if got := RTO(0.3); got != 0.6 {
+		t.Fatalf("RTO(300ms) = %v, want 0.6", got)
+	}
+}
+
+// TestCloseIdemAndLateCompletion covers double-close and a stale
+// completion event firing after close.
+func TestCloseIdemAndLateCompletion(t *testing.T) {
+	eng, net := testNet(2, Mbps(8), Mbps(8))
+	f := net.NewFlow(0, 1)
+	fired := false
+	f.Start(1e5, func() { fired = true })
+	f.Close()
+	f.Close()
+	eng.Run()
+	if fired {
+		t.Fatal("done fired after close")
+	}
+}

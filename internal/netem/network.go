@@ -1,0 +1,467 @@
+package netem
+
+import (
+	"math"
+	"sort"
+
+	"bulletprime/internal/sim"
+)
+
+// DefaultRecomputeInterval is the minimum virtual time between fair-share
+// recomputations. Flow churn within an interval is coalesced into one
+// recomputation, bounding emulator cost; newly started transfers run at a
+// conservative provisional rate until the next recomputation, which mirrors
+// the convergence time of real TCP after cross-traffic changes.
+const DefaultRecomputeInterval = 0.025
+
+// Network emulates the configured topology for a set of flows. It is driven
+// entirely by the simulation engine; all methods must be called from engine
+// callbacks (or before Run).
+type Network struct {
+	Eng  *sim.Engine
+	Topo *Topology
+
+	// RecomputeInterval throttles fair-share recomputation (seconds).
+	RecomputeInterval float64
+
+	rng     *sim.RNG
+	flows   map[int]*Flow
+	nextID  int
+	dirty   bool
+	lastRun sim.Time
+	haveRun bool
+
+	// Recomputes counts fair-share recomputations, for tests and profiling.
+	Recomputes uint64
+	// BytesServed is the total payload bytes fully serialized by all flows.
+	BytesServed float64
+}
+
+// New creates a network emulator on the given engine and topology. The rng
+// drives loss-induced latency jitter; pass a dedicated stream.
+func New(eng *sim.Engine, topo *Topology, rng *sim.RNG) *Network {
+	return &Network{
+		Eng:               eng,
+		Topo:              topo,
+		RecomputeInterval: DefaultRecomputeInterval,
+		rng:               rng,
+		flows:             make(map[int]*Flow),
+	}
+}
+
+// Flow is one direction of a transport connection: a FIFO server that
+// serializes one segment (message) at a time at the max-min fair rate. The
+// transport layer queues messages and starts the next transfer from the done
+// callback.
+type Flow struct {
+	net  *Network
+	id   int
+	src  NodeID
+	dst  NodeID
+	open bool
+
+	established sim.Time // connection birth, drives the slow-start ramp
+	ssBinding   bool     // slow-start cap was binding at last recompute
+
+	busy       bool
+	remaining  float64
+	rate       float64
+	lastUpdate sim.Time
+	completion *sim.Event
+	done       func()
+
+	// Served is the total bytes fully serialized on this flow.
+	Served float64
+}
+
+// NewFlow opens a unidirectional flow src→dst. The slow-start ramp starts
+// now (connection establishment).
+func (n *Network) NewFlow(src, dst NodeID) *Flow {
+	if src == dst {
+		panic("netem: flow endpoints must differ")
+	}
+	n.nextID++
+	f := &Flow{
+		net:         n,
+		id:          n.nextID,
+		src:         src,
+		dst:         dst,
+		open:        true,
+		established: n.Eng.Now(),
+	}
+	n.flows[f.id] = f
+	return f
+}
+
+// Src returns the sending endpoint.
+func (f *Flow) Src() NodeID { return f.src }
+
+// Dst returns the receiving endpoint.
+func (f *Flow) Dst() NodeID { return f.dst }
+
+// Busy reports whether a segment is currently being serialized.
+func (f *Flow) Busy() bool { return f.busy }
+
+// Rate returns the currently allocated service rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Close removes the flow. Any in-progress transfer is abandoned without its
+// done callback firing.
+func (f *Flow) Close() {
+	if !f.open {
+		return
+	}
+	f.open = false
+	f.busy = false
+	f.done = nil
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+	delete(f.net.flows, f.id)
+	f.net.markDirty()
+}
+
+// Start begins serializing a segment of the given size; done fires when the
+// last byte leaves the sender. Exactly one segment may be in service; the
+// caller owns the queue. Propagation delay is the caller's concern (use
+// Topology.OneWayDelay), which lets the transport enforce in-order delivery.
+func (f *Flow) Start(bytes float64, done func()) {
+	if !f.open {
+		panic("netem: Start on closed flow")
+	}
+	if f.busy {
+		panic("netem: Start on busy flow")
+	}
+	if bytes <= 0 {
+		bytes = 1
+	}
+	f.busy = true
+	f.remaining = bytes
+	f.done = done
+	f.lastUpdate = f.net.Eng.Now()
+	// Provisional rate until the next recomputation: the flow's static cap
+	// split evenly with currently active flows on the shared access links.
+	f.rate = f.net.provisionalRate(f)
+	f.scheduleCompletion()
+	f.net.markDirty()
+}
+
+// DeliveryJitter returns a possibly-zero extra latency for a message of the
+// given size on this flow's path, modelling TCP retransmission stalls: with
+// probability equal to the path loss rate the message waits one RTO.
+func (f *Flow) DeliveryJitter(bytes float64) float64 {
+	p := f.net.Topo.CoreLoss(f.src, f.dst)
+	if p <= 0 {
+		return 0
+	}
+	if f.net.rng.Float64() < p {
+		return RTO(f.net.Topo.RTT(f.src, f.dst))
+	}
+	return 0
+}
+
+// cap returns the flow's current per-flow rate cap: dedicated core link
+// bandwidth, Mathis loss cap, and slow-start ramp.
+func (f *Flow) capNow(now sim.Time) (cap float64, ssBinding bool) {
+	t := f.net.Topo
+	cap = t.CoreBW(f.src, f.dst)
+	if cap <= 0 {
+		cap = math.Inf(1)
+	}
+	rtt := t.RTT(f.src, f.dst)
+	if m := MathisCap(rtt, t.CoreLoss(f.src, f.dst)); m < cap {
+		cap = m
+	}
+	if ss := SlowStartCap(float64(now-f.established), rtt); ss < cap {
+		cap = ss
+		ssBinding = true
+	}
+	return cap, ssBinding
+}
+
+// completeEps is the residual-byte threshold below which a transfer counts
+// as finished. Floating-point rounding in rate*dt arithmetic leaves
+// sub-byte residues; without this clamp the reschedule delay can fall below
+// the clock's representable resolution and the completion event re-fires at
+// the same instant forever.
+const completeEps = 1e-3
+
+func (f *Flow) scheduleCompletion() {
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+	if !f.busy {
+		return
+	}
+	if f.rate <= 0 {
+		// Starved; a future recomputation will reschedule.
+		return
+	}
+	dt := f.remaining / f.rate
+	f.completion = f.net.Eng.After(dt, f.complete)
+}
+
+func (f *Flow) complete() {
+	if !f.busy || !f.open {
+		return
+	}
+	now := f.net.Eng.Now()
+	f.advance(now)
+	if f.remaining > completeEps {
+		// A recomputation moved the goalposts; reschedule.
+		f.scheduleCompletion()
+		return
+	}
+	f.busy = false
+	f.completion = nil
+	done := f.done
+	f.done = nil
+	f.net.markDirty()
+	if done != nil {
+		done()
+	}
+}
+
+// advance applies service at the current rate for time elapsed since
+// lastUpdate.
+func (f *Flow) advance(now sim.Time) {
+	if !f.busy {
+		f.lastUpdate = now
+		return
+	}
+	dt := float64(now - f.lastUpdate)
+	if dt > 0 && f.rate > 0 {
+		served := f.rate * dt
+		if served > f.remaining {
+			served = f.remaining
+		}
+		f.remaining -= served
+		f.Served += served
+		f.net.BytesServed += served
+	}
+	f.lastUpdate = now
+}
+
+// provisionalRate estimates a fair rate for a newly started transfer without
+// a full recomputation: the flow's cap divided among active flows sharing
+// its access links.
+func (n *Network) provisionalRate(f *Flow) float64 {
+	outN, inN := 1, 1
+	for _, g := range n.flows {
+		if g == f || !g.busy {
+			continue
+		}
+		if g.src == f.src {
+			outN++
+		}
+		if g.dst == f.dst {
+			inN++
+		}
+	}
+	cap, _ := f.capNow(n.Eng.Now())
+	r := cap
+	if s := n.Topo.AccessOut[f.src] / float64(outN); s < r {
+		r = s
+	}
+	if s := n.Topo.AccessIn[f.dst] / float64(inN); s < r {
+		r = s
+	}
+	if math.IsInf(r, 1) {
+		r = 1e12
+	}
+	return r
+}
+
+// markDirty schedules a fair-share recomputation, coalescing requests within
+// RecomputeInterval of the previous one.
+func (n *Network) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	at := n.Eng.Now()
+	if n.haveRun {
+		if earliest := n.lastRun + sim.Time(n.RecomputeInterval); earliest > at {
+			at = earliest
+		}
+	}
+	n.Eng.Schedule(at, n.recompute)
+}
+
+// BandwidthChanged must be called after mutating topology bandwidths at
+// runtime so allocated rates are refreshed.
+func (n *Network) BandwidthChanged() { n.markDirty() }
+
+// recompute performs the max-min fair allocation with per-flow caps and
+// updates every in-progress transfer.
+func (n *Network) recompute() {
+	n.dirty = false
+	n.haveRun = true
+	now := n.Eng.Now()
+	n.lastRun = now
+	n.Recomputes++
+
+	active := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		if f.open && f.busy {
+			f.advance(now)
+			active = append(active, f)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	// Map iteration order is randomized; sort so float accumulation order
+	// (and therefore every downstream rate bit) is deterministic per seed.
+	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+
+	rates, anySS := n.fairShare(active, now)
+	for i, f := range active {
+		f.rate = rates[i]
+		f.scheduleCompletion()
+	}
+	if anySS {
+		// Keep the slow-start ramp advancing even without flow churn.
+		n.markDirty()
+	}
+}
+
+// resource is a shared link (access in/out, or a core link carrying more
+// than one flow) during fair-share computation.
+type resource struct {
+	cap       float64
+	nUnfrozen int
+	frozenUse float64
+	flows     []int // indices into the active-flow slice
+}
+
+// fairShare computes max-min fair rates for the active flows using
+// progressive filling with per-flow caps: every unfrozen flow's rate rises
+// with a common water level; a flow freezes when the level reaches its cap,
+// and when a shared link saturates all its unfrozen flows freeze at the
+// current level.
+func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anySS bool) {
+	nf := len(active)
+	rates = make([]float64, nf)
+	caps := make([]float64, nf)
+	frozen := make([]bool, nf)
+
+	var resources []*resource
+	resIdx := make(map[int]int)
+	flowRes := make([][]int, nf) // resource indices per flow
+
+	addToResource := func(key int, cap float64, fi int) {
+		ri, ok := resIdx[key]
+		if !ok {
+			ri = len(resources)
+			resources = append(resources, &resource{cap: cap})
+			resIdx[key] = ri
+		}
+		r := resources[ri]
+		r.nUnfrozen++
+		r.flows = append(r.flows, fi)
+		flowRes[fi] = append(flowRes[fi], ri)
+	}
+
+	// Group flows by ordered pair: a core link with 2+ flows becomes a
+	// shared resource; with a single flow it is just a cap (cheaper).
+	pairCount := make(map[int]int, nf)
+	for _, f := range active {
+		pairCount[int(f.src)*n.Topo.N+int(f.dst)]++
+	}
+
+	// Resource keys: [0,N) out-access, [N,2N) in-access, [2N,...) core pairs.
+	nn := n.Topo.N
+	for i, f := range active {
+		c, ss := f.capNow(now)
+		anySS = anySS || ss
+		caps[i] = c
+		addToResource(int(f.src), n.Topo.AccessOut[f.src], i)
+		addToResource(nn+int(f.dst), n.Topo.AccessIn[f.dst], i)
+		pair := int(f.src)*nn + int(f.dst)
+		if pairCount[pair] > 1 {
+			if bw := n.Topo.CoreBW(f.src, f.dst); bw > 0 {
+				addToResource(2*nn+pair, bw, i)
+			}
+		}
+	}
+
+	unfrozen := nf
+	level := 0.0
+	freeze := func(fi int, rate float64) {
+		if frozen[fi] {
+			return
+		}
+		frozen[fi] = true
+		rates[fi] = rate
+		unfrozen--
+		for _, ri := range flowRes[fi] {
+			r := resources[ri]
+			r.nUnfrozen--
+			r.frozenUse += rate
+		}
+	}
+
+	const eps = 1e-9
+	for unfrozen > 0 {
+		// Next cap event.
+		minCap := math.Inf(1)
+		for i := 0; i < nf; i++ {
+			if !frozen[i] && caps[i] < minCap {
+				minCap = caps[i]
+			}
+		}
+		// Next resource saturation event.
+		minSat := math.Inf(1)
+		satRes := -1
+		for ri, r := range resources {
+			if r.nUnfrozen == 0 {
+				continue
+			}
+			headroom := r.cap - r.frozenUse
+			if headroom < 0 {
+				headroom = 0
+			}
+			sat := headroom / float64(r.nUnfrozen)
+			// sat is the level at which r saturates given current freezes.
+			if sat < minSat {
+				minSat = sat
+				satRes = ri
+			}
+		}
+
+		if minCap <= minSat+eps && !math.IsInf(minCap, 1) {
+			level = minCap
+			for i := 0; i < nf; i++ {
+				if !frozen[i] && caps[i] <= minCap+eps {
+					freeze(i, caps[i])
+				}
+			}
+			continue
+		}
+		if satRes >= 0 && !math.IsInf(minSat, 1) {
+			level = minSat
+			r := resources[satRes]
+			for _, fi := range r.flows {
+				if !frozen[fi] {
+					rate := level
+					if caps[fi] < rate {
+						rate = caps[fi]
+					}
+					freeze(fi, rate)
+				}
+			}
+			continue
+		}
+		// No finite cap and no saturable resource: unconstrained flows.
+		for i := 0; i < nf; i++ {
+			if !frozen[i] {
+				freeze(i, 1e12)
+			}
+		}
+	}
+	_ = level
+	return rates, anySS
+}

@@ -1,0 +1,172 @@
+// Package netem is a deterministic flow-level network emulator standing in
+// for the ModelNet cluster used by the paper.
+//
+// The model: every node has an inbound and an outbound access link; every
+// ordered pair of nodes is connected by a dedicated core link with its own
+// bandwidth, one-way propagation delay, and random packet-loss probability
+// (the paper's fully interconnected mesh topology, §4.1). Transport
+// connections map to one Flow per direction. Active flows share link
+// capacity max-min fairly, and each flow is additionally capped by
+//
+//   - its core link bandwidth,
+//   - the Mathis TCP steady-state throughput for the pair's loss rate and
+//     RTT (rate ≤ MSS·√(3/2) / (RTT·√p)), and
+//   - a slow-start ramp while the connection is young.
+//
+// This reproduces the four network behaviours the paper's evaluation turns
+// on — shared bottlenecks, loss-limited TCP throughput, head-of-line
+// blocking of queued blocks, and mid-transfer bandwidth change — without
+// simulating individual packets, which is what makes 100-node × 100 MB
+// sweeps feasible on one machine.
+package netem
+
+import (
+	"fmt"
+
+	"bulletprime/internal/sim"
+)
+
+// NodeID identifies a node in the emulated network.
+type NodeID int
+
+// Mbps converts megabits-per-second to the bytes-per-second unit used
+// throughout the emulator.
+func Mbps(m float64) float64 { return m * 1e6 / 8 }
+
+// Kbps converts kilobits-per-second to bytes-per-second.
+func Kbps(k float64) float64 { return k * 1e3 / 8 }
+
+// MS converts milliseconds to seconds.
+func MS(ms float64) float64 { return ms / 1e3 }
+
+// Topology describes the emulated network: N nodes, per-node access links,
+// and a dedicated core link for every ordered pair. All bandwidths are in
+// bytes/second, delays in seconds, losses as probabilities in [0, 1).
+type Topology struct {
+	N           int
+	AccessIn    []float64 // inbound access bandwidth per node
+	AccessOut   []float64 // outbound access bandwidth per node
+	AccessDelay []float64 // one-way access link delay per node
+
+	coreBW    []float64 // N*N, indexed [src*N+dst]
+	coreDelay []float64
+	coreLoss  []float64
+}
+
+// NewTopology allocates a topology for n nodes with all-zero parameters.
+func NewTopology(n int) *Topology {
+	return &Topology{
+		N:           n,
+		AccessIn:    make([]float64, n),
+		AccessOut:   make([]float64, n),
+		AccessDelay: make([]float64, n),
+		coreBW:      make([]float64, n*n),
+		coreDelay:   make([]float64, n*n),
+		coreLoss:    make([]float64, n*n),
+	}
+}
+
+func (t *Topology) idx(src, dst NodeID) int {
+	if src < 0 || int(src) >= t.N || dst < 0 || int(dst) >= t.N {
+		panic(fmt.Sprintf("netem: pair (%d,%d) out of range for %d nodes", src, dst, t.N))
+	}
+	return int(src)*t.N + int(dst)
+}
+
+// CoreBW returns the core-link bandwidth for the ordered pair src→dst.
+func (t *Topology) CoreBW(src, dst NodeID) float64 { return t.coreBW[t.idx(src, dst)] }
+
+// SetCoreBW sets the core-link bandwidth for the ordered pair src→dst.
+func (t *Topology) SetCoreBW(src, dst NodeID, bw float64) { t.coreBW[t.idx(src, dst)] = bw }
+
+// CoreDelay returns the one-way core propagation delay for src→dst.
+func (t *Topology) CoreDelay(src, dst NodeID) float64 { return t.coreDelay[t.idx(src, dst)] }
+
+// SetCoreDelay sets the one-way core propagation delay for src→dst.
+func (t *Topology) SetCoreDelay(src, dst NodeID, d float64) { t.coreDelay[t.idx(src, dst)] = d }
+
+// CoreLoss returns the random-loss probability on the core link src→dst.
+func (t *Topology) CoreLoss(src, dst NodeID) float64 { return t.coreLoss[t.idx(src, dst)] }
+
+// SetCoreLoss sets the random-loss probability on the core link src→dst.
+func (t *Topology) SetCoreLoss(src, dst NodeID, p float64) { t.coreLoss[t.idx(src, dst)] = p }
+
+// SetUniformAccess configures every node with the same access parameters.
+func (t *Topology) SetUniformAccess(in, out, delay float64) {
+	for i := 0; i < t.N; i++ {
+		t.AccessIn[i] = in
+		t.AccessOut[i] = out
+		t.AccessDelay[i] = delay
+	}
+}
+
+// OneWayDelay returns the end-to-end propagation delay src→dst: both access
+// links plus the core link.
+func (t *Topology) OneWayDelay(src, dst NodeID) float64 {
+	if src == dst {
+		return 0
+	}
+	return t.AccessDelay[src] + t.coreDelay[t.idx(src, dst)] + t.AccessDelay[dst]
+}
+
+// RTT returns the round-trip time between src and dst: the forward one-way
+// delay plus the reverse one-way delay.
+func (t *Topology) RTT(src, dst NodeID) float64 {
+	return t.OneWayDelay(src, dst) + t.OneWayDelay(dst, src)
+}
+
+// ModelNetConfig holds the parameters of the paper's emulation topology
+// (§4.1): a fully interconnected mesh with symmetric access links and
+// randomly drawn per-core-link delay and loss.
+type ModelNetConfig struct {
+	N            int
+	AccessBW     float64 // inbound and outbound access bandwidth
+	AccessDelay  float64
+	CoreBW       float64
+	CoreDelayLo  float64 // core delay drawn uniformly from [lo, hi)
+	CoreDelayHi  float64
+	CoreLossLo   float64 // core loss drawn uniformly from [lo, hi)
+	CoreLossHi   float64
+	SymmetricRng bool // draw delay/loss once per unordered pair (both directions equal)
+}
+
+// PaperDefault returns the §4.1 configuration: 100 nodes, 6 Mbps access
+// links with 1 ms delay, 2 Mbps core links with delay U[5 ms, 200 ms) and
+// loss U[0, 3%).
+func PaperDefault() ModelNetConfig {
+	return ModelNetConfig{
+		N:           100,
+		AccessBW:    Mbps(6),
+		AccessDelay: MS(1),
+		CoreBW:      Mbps(2),
+		CoreDelayLo: MS(5),
+		CoreDelayHi: MS(200),
+		CoreLossLo:  0,
+		CoreLossHi:  0.03,
+	}
+}
+
+// Build draws a concrete topology from the configuration using rng. The
+// draw order is fixed, so a given seed always yields the same network.
+func (c ModelNetConfig) Build(rng *sim.RNG) *Topology {
+	t := NewTopology(c.N)
+	t.SetUniformAccess(c.AccessBW, c.AccessBW, c.AccessDelay)
+	for i := 0; i < c.N; i++ {
+		for j := 0; j < c.N; j++ {
+			if i == j {
+				continue
+			}
+			if c.SymmetricRng && j < i {
+				// Mirror the draw made for (j, i).
+				t.SetCoreBW(NodeID(i), NodeID(j), t.CoreBW(NodeID(j), NodeID(i)))
+				t.SetCoreDelay(NodeID(i), NodeID(j), t.CoreDelay(NodeID(j), NodeID(i)))
+				t.SetCoreLoss(NodeID(i), NodeID(j), t.CoreLoss(NodeID(j), NodeID(i)))
+				continue
+			}
+			t.SetCoreBW(NodeID(i), NodeID(j), c.CoreBW)
+			t.SetCoreDelay(NodeID(i), NodeID(j), rng.Uniform(c.CoreDelayLo, c.CoreDelayHi))
+			t.SetCoreLoss(NodeID(i), NodeID(j), rng.Uniform(c.CoreLossLo, c.CoreLossHi))
+		}
+	}
+	return t
+}

@@ -1,0 +1,387 @@
+// Package proto is the protocol runtime shared by every dissemination
+// system in this repository (Bullet', Bullet, BitTorrent, SplitStream,
+// Shotgun). It plays the role MACEDON plays in the paper: nodes, reliable
+// ordered connections, message framing, timers, and the bookkeeping
+// (queue depths, idle times, byte meters) the protocols' control algorithms
+// observe.
+//
+// A Conn multiplexes control and data messages onto one netem flow per
+// direction, FIFO. Control messages therefore suffer head-of-line blocking
+// behind queued 16 KB blocks exactly as they would inside a TCP socket
+// buffer — the effect Bullet's flow control (§3.3.3) and the request
+// strategy comparison (§4.3) depend on.
+package proto
+
+import (
+	"fmt"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/trace"
+)
+
+// Message is a framed unit on a connection. Size is the wire size in bytes
+// (payload plus protocol header); Payload is an arbitrary in-memory value —
+// the emulator charges bytes but does not serialize.
+type Message struct {
+	Kind    int
+	Size    float64
+	Payload any
+}
+
+// MsgOverhead is the per-message framing overhead in bytes charged on the
+// wire (type, length, and protocol header fields).
+const MsgOverhead = 48
+
+// Node is a protocol endpoint. Protocol packages set the three callbacks
+// and attach their own per-node state via State.
+type Node struct {
+	rt *Runtime
+	// ID is this node's address in the emulated topology.
+	ID netem.NodeID
+
+	// OnMessage is invoked for every delivered message.
+	OnMessage func(c *Conn, m Message)
+	// OnAccept is invoked when a remote node dials this node, at SYN
+	// arrival time. The conn is usable for sending immediately.
+	OnAccept func(c *Conn)
+	// OnClose is invoked once per side when the connection closes.
+	OnClose func(c *Conn)
+
+	// InMeter and OutMeter measure delivered payload bandwidth.
+	InMeter  *trace.RateMeter
+	OutMeter *trace.RateMeter
+
+	// State is arbitrary protocol-owned per-node state.
+	State any
+
+	conns map[*Conn]struct{}
+	dead  bool
+}
+
+// Runtime owns the nodes of one experiment and binds them to the emulated
+// network.
+type Runtime struct {
+	Eng   *sim.Engine
+	Net   *netem.Network
+	nodes map[netem.NodeID]*Node
+
+	// MeterBucket and MeterSlots configure node rate meters; the defaults
+	// resolve rates over windows up to ~30 s at 1 s granularity.
+	MeterBucket float64
+	MeterSlots  int
+
+	// MessagesDelivered counts every delivered message (all nodes).
+	MessagesDelivered uint64
+	// ControlBytes and DataBytes split delivered wire bytes by IsData.
+	ControlBytes float64
+	DataBytes    float64
+}
+
+// NewRuntime creates a runtime over the given emulated network.
+func NewRuntime(eng *sim.Engine, net *netem.Network) *Runtime {
+	return &Runtime{
+		Eng:         eng,
+		Net:         net,
+		nodes:       make(map[netem.NodeID]*Node),
+		MeterBucket: 1.0,
+		MeterSlots:  32,
+	}
+}
+
+// NewNode registers a node at the given topology address.
+func (rt *Runtime) NewNode(id netem.NodeID) *Node {
+	if _, dup := rt.nodes[id]; dup {
+		panic(fmt.Sprintf("proto: duplicate node %d", id))
+	}
+	n := &Node{
+		rt:       rt,
+		ID:       id,
+		InMeter:  trace.NewRateMeter(rt.MeterBucket, rt.MeterSlots),
+		OutMeter: trace.NewRateMeter(rt.MeterBucket, rt.MeterSlots),
+		conns:    make(map[*Conn]struct{}),
+	}
+	rt.nodes[id] = n
+	return n
+}
+
+// Node returns the node registered at id, or nil.
+func (rt *Runtime) Node(id netem.NodeID) *Node { return rt.nodes[id] }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() sim.Time { return rt.Eng.Now() }
+
+// After schedules fn after d seconds of virtual time.
+func (rt *Runtime) After(d float64, fn func()) *sim.Event { return rt.Eng.After(d, fn) }
+
+// Conns returns the number of open connections on n.
+func (n *Node) Conns() int { return len(n.conns) }
+
+// Runtime returns the runtime that owns this node.
+func (n *Node) Runtime() *Runtime { return n.rt }
+
+// Fail crashes the node: every connection closes (peers observe OnClose
+// after the propagation delay, as with a TCP reset from a dead peer), no
+// further messages are delivered to or sent by it, and its callbacks are
+// cleared. Used by the churn/failure-injection experiments: the paper's
+// argument for meshes is precisely that losing one of n peers costs only
+// 1/n of a node's bandwidth.
+func (n *Node) Fail() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.OnMessage = nil
+	n.OnAccept = nil
+	n.OnClose = nil
+	for c := range n.conns {
+		c.Close(n)
+	}
+}
+
+// Dead reports whether Fail has been called.
+func (n *Node) Dead() bool { return n.dead }
+
+// half is one direction of a connection.
+type half struct {
+	conn        *Conn
+	from, to    *Node
+	flow        *netem.Flow
+	queue       []Message
+	queuedBytes float64
+
+	lastDelivery sim.Time // in-order delivery floor
+	idleSince    sim.Time // when this direction last became idle; -1 if busy
+	delivered    float64  // wire bytes fully delivered
+	pumpPending  bool
+}
+
+// Conn is a bidirectional reliable connection between two nodes.
+type Conn struct {
+	rt      *Runtime
+	dialer  *Node
+	target  *Node
+	h       [2]half // [0] dialer->target, [1] target->dialer
+	readyAt sim.Time
+	closed  bool
+
+	// IsData classifies message kinds as bulk data (for the runtime's
+	// control/data accounting); protocols set it once after dialing.
+	IsData func(kind int) bool
+
+	stateD any // protocol state attached by the dialer side
+	stateT any // protocol state attached by the target side
+}
+
+// Dial opens a connection from n to the node at the given address. The
+// remote's OnAccept fires after the one-way delay (SYN arrival); sending is
+// allowed immediately on both sides, but no bytes are serialized until the
+// TCP handshake completes (one RTT after dial).
+func (n *Node) Dial(to netem.NodeID) *Conn {
+	remote := n.rt.nodes[to]
+	if remote == nil {
+		panic(fmt.Sprintf("proto: dial to unregistered node %d", to))
+	}
+	if remote == n {
+		panic("proto: dial to self")
+	}
+	if n.dead || remote.dead {
+		// Connection to/from a crashed node: create it pre-closed so the
+		// caller's normal OnClose path cleans up.
+		c := &Conn{rt: n.rt, dialer: n, target: remote, closed: true}
+		return c
+	}
+	now := n.rt.Eng.Now()
+	c := &Conn{
+		rt:      n.rt,
+		dialer:  n,
+		target:  remote,
+		readyAt: now + sim.Time(n.rt.Net.Topo.RTT(n.ID, to)),
+	}
+	c.h[0] = half{conn: c, from: n, to: remote, flow: n.rt.Net.NewFlow(n.ID, to), idleSince: now}
+	c.h[1] = half{conn: c, from: remote, to: n, flow: n.rt.Net.NewFlow(to, n.ID), idleSince: now}
+	n.conns[c] = struct{}{}
+	remote.conns[c] = struct{}{}
+	oneWay := n.rt.Net.Topo.OneWayDelay(n.ID, to)
+	n.rt.Eng.After(oneWay, func() {
+		if !c.closed && remote.OnAccept != nil {
+			remote.OnAccept(c)
+		}
+	})
+	return c
+}
+
+// Dialer returns the node that opened the connection.
+func (c *Conn) Dialer() *Node { return c.dialer }
+
+// Target returns the node that was dialed.
+func (c *Conn) Target() *Node { return c.target }
+
+// Peer returns the other endpoint relative to n.
+func (c *Conn) Peer(n *Node) *Node {
+	if n == c.dialer {
+		return c.target
+	}
+	return c.dialer
+}
+
+// Closed reports whether Close has been called by either side.
+func (c *Conn) Closed() bool { return c.closed }
+
+// SetState attaches protocol state for the given side.
+func (c *Conn) SetState(n *Node, v any) {
+	if n == c.dialer {
+		c.stateD = v
+	} else {
+		c.stateT = v
+	}
+}
+
+// State returns the protocol state attached by the given side.
+func (c *Conn) State(n *Node) any {
+	if n == c.dialer {
+		return c.stateD
+	}
+	return c.stateT
+}
+
+func (c *Conn) dir(from *Node) *half {
+	if from == c.dialer {
+		return &c.h[0]
+	}
+	if from == c.target {
+		return &c.h[1]
+	}
+	panic("proto: node not an endpoint of this conn")
+}
+
+// Send queues a message from n to its peer. Messages on a connection are
+// delivered reliably and in order. Sends on a closed connection are
+// silently dropped (the peer may have closed concurrently).
+func (c *Conn) Send(n *Node, m Message) {
+	if c.closed {
+		return
+	}
+	if m.Size < MsgOverhead {
+		m.Size += MsgOverhead
+	}
+	h := c.dir(n)
+	h.queue = append(h.queue, m)
+	h.queuedBytes += m.Size
+	h.pump()
+}
+
+// QueueLen returns the number of messages queued (not yet fully serialized)
+// in the direction from n, including the one in service.
+func (c *Conn) QueueLen(n *Node) int {
+	h := c.dir(n)
+	q := len(h.queue)
+	if h.flow != nil && h.flow.Busy() {
+		q++
+	}
+	return q
+}
+
+// QueueBytes returns the bytes queued in the direction from n, excluding
+// the message currently in service.
+func (c *Conn) QueueBytes(n *Node) float64 { return c.dir(n).queuedBytes }
+
+// IdleFor returns how long the direction from n has had nothing to send,
+// or 0 if it is busy. This is the sender-side measurement behind the
+// negative "wasted" values of Bullet's flow control.
+func (c *Conn) IdleFor(n *Node) float64 {
+	h := c.dir(n)
+	if h.idleSince < 0 {
+		return 0
+	}
+	return float64(c.rt.Eng.Now() - h.idleSince)
+}
+
+// DeliveredFrom returns wire bytes delivered in the direction from n.
+func (c *Conn) DeliveredFrom(n *Node) float64 { return c.dir(n).delivered }
+
+// RTT returns the path round-trip time between the endpoints.
+func (c *Conn) RTT() float64 {
+	return c.rt.Net.Topo.RTT(c.dialer.ID, c.target.ID)
+}
+
+// Close tears down both directions. Queued and in-flight messages are
+// dropped. Each side's OnClose fires exactly once: the closing side
+// immediately, the remote side after the one-way delay.
+func (c *Conn) Close(by *Node) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.h[0].flow.Close()
+	c.h[1].flow.Close()
+	delete(c.dialer.conns, c)
+	delete(c.target.conns, c)
+	other := c.Peer(by)
+	if by.OnClose != nil {
+		by.OnClose(c)
+	}
+	oneWay := c.rt.Net.Topo.OneWayDelay(by.ID, other.ID)
+	c.rt.Eng.After(oneWay, func() {
+		if other.OnClose != nil {
+			other.OnClose(c)
+		}
+	})
+}
+
+func (h *half) pump() {
+	c := h.conn
+	if c.closed || h.flow.Busy() || len(h.queue) == 0 || h.pumpPending {
+		return
+	}
+	now := c.rt.Eng.Now()
+	if now < c.readyAt {
+		h.pumpPending = true
+		c.rt.Eng.Schedule(c.readyAt, func() {
+			h.pumpPending = false
+			h.pump()
+		})
+		return
+	}
+	m := h.queue[0]
+	h.queue = h.queue[1:]
+	h.queuedBytes -= m.Size
+	h.idleSince = -1
+	h.flow.Start(m.Size, func() { h.serialized(m) })
+}
+
+// serialized fires when the last byte of m leaves the sender.
+func (h *half) serialized(m Message) {
+	c := h.conn
+	rt := c.rt
+	now := rt.Eng.Now()
+	h.from.OutMeter.Add(now, m.Size)
+
+	delay := rt.Net.Topo.OneWayDelay(h.from.ID, h.to.ID) + h.flow.DeliveryJitter(m.Size)
+	at := now + sim.Time(delay)
+	if at < h.lastDelivery {
+		at = h.lastDelivery // reliable in-order delivery
+	}
+	h.lastDelivery = at
+	rt.Eng.Schedule(at, func() {
+		if c.closed {
+			return
+		}
+		h.delivered += m.Size
+		h.to.InMeter.Add(at, m.Size)
+		rt.MessagesDelivered++
+		if c.IsData != nil && c.IsData(m.Kind) {
+			rt.DataBytes += m.Size
+		} else {
+			rt.ControlBytes += m.Size
+		}
+		if h.to.OnMessage != nil {
+			h.to.OnMessage(c, m)
+		}
+	})
+
+	if len(h.queue) == 0 {
+		h.idleSince = now
+	}
+	h.pump()
+}

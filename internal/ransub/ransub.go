@@ -1,0 +1,333 @@
+// Package ransub implements the RanSub protocol (Kostić et al., USITS'03)
+// as used by Bullet' (paper §3.2.2): an epoch-based collect/distribute pass
+// over the control tree that delivers a changing, uniformly random subset
+// of system members — with application state attached — to every node,
+// every period (5 s in Bullet').
+//
+// Each epoch the root sends a distribute message down the tree carrying a
+// random member sample assembled from the previous epoch's collect phase;
+// when the distribute reaches the leaves, a collect phase flows back up, at
+// each layer randomizing and compacting per-subtree samples so that what
+// arrives at the root is a uniform sample of the whole membership. The
+// variant implemented here mixes, for each child, the parent's distribute
+// set with samples drawn from the *other* subtrees and the node itself —
+// the "non-descendants" flavor Bullet uses so nodes mostly learn about
+// peers outside their own subtree.
+package ransub
+
+import (
+	"sort"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
+)
+
+// Message kinds, allocated in a range protocols leave to RanSub.
+const (
+	KindDistribute = 1000 + iota
+	KindCollect
+)
+
+// DefaultPeriod is the Bullet' epoch length in seconds.
+const DefaultPeriod = 5.0
+
+// DefaultFanout is the number of candidates carried per distribute set.
+const DefaultFanout = 10
+
+// Candidate is one advertised member: its identity and its application
+// state (for Bullet', a block-availability summary).
+type Candidate struct {
+	ID      netem.NodeID
+	Summary *proto.Summary
+}
+
+type distributeMsg struct {
+	epoch int
+	set   []Candidate
+}
+
+type collectMsg struct {
+	epoch       int
+	sample      []Candidate
+	subtreeSize int
+}
+
+// Agent runs RanSub at one node. The owning protocol routes messages with
+// ransub kinds to Handle and provides the tree links.
+type Agent struct {
+	node   *proto.Node
+	rng    *sim.RNG
+	period float64
+	fanout int
+
+	// Summarize produces this node's current candidate (called each epoch
+	// as the collect phase passes through).
+	Summarize func() Candidate
+	// OnDistribute delivers each epoch's random candidate set.
+	OnDistribute func(epoch int, set []Candidate)
+
+	isRoot   bool
+	parent   *proto.Conn
+	children map[netem.NodeID]*proto.Conn
+
+	epoch        int
+	collectFrom  map[netem.NodeID]collectMsg
+	childSamples map[netem.NodeID][]Candidate // last completed collect, per child
+	pool         []Candidate                  // root: merged sample from last collect
+	started      bool
+}
+
+// New creates an agent for node n. Wire up links with SetLinks and start the
+// root with Start.
+func New(n *proto.Node, rng *sim.RNG, period float64, fanout int) *Agent {
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	return &Agent{
+		node:         n,
+		rng:          rng,
+		period:       period,
+		fanout:       fanout,
+		children:     make(map[netem.NodeID]*proto.Conn),
+		collectFrom:  make(map[netem.NodeID]collectMsg),
+		childSamples: make(map[netem.NodeID][]Candidate),
+	}
+}
+
+// SetLinks provides the control-tree connections. parent is nil at the
+// root. The same connections may carry other protocol traffic (Bullet'
+// multiplexes source pushes over them).
+func (a *Agent) SetLinks(isRoot bool, parent *proto.Conn, children map[netem.NodeID]*proto.Conn) {
+	a.isRoot = isRoot
+	a.parent = parent
+	a.children = children
+}
+
+// Start begins periodic epochs; call at the root only.
+func (a *Agent) Start() {
+	if !a.isRoot || a.started {
+		return
+	}
+	a.started = true
+	a.runEpoch()
+}
+
+// sortedChildIDs returns child ids in ascending order: Go randomizes map
+// iteration and the simulation must stay deterministic per seed.
+func (a *Agent) sortedChildIDs() []netem.NodeID {
+	ids := make([]netem.NodeID, 0, len(a.children))
+	for id := range a.children {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedSampleIDs returns childSamples keys in ascending order.
+func (a *Agent) sortedSampleIDs() []netem.NodeID {
+	ids := make([]netem.NodeID, 0, len(a.childSamples))
+	for id := range a.childSamples {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (a *Agent) runEpoch() {
+	a.epoch++
+	a.collectFrom = make(map[netem.NodeID]collectMsg)
+	set := a.mixFor(-1, a.pool)
+	if a.OnDistribute != nil {
+		a.OnDistribute(a.epoch, set)
+	}
+	if len(a.children) == 0 {
+		// Degenerate single-node tree: collect completes immediately.
+		a.finishCollect()
+	}
+	for _, id := range a.sortedChildIDs() {
+		c := a.children[id]
+		msg := distributeMsg{epoch: a.epoch, set: a.mixFor(id, a.pool)}
+		c.Send(a.node, proto.Message{
+			Kind:    KindDistribute,
+			Size:    candidateWire(len(msg.set)),
+			Payload: msg,
+		})
+	}
+	a.node.Runtime().After(a.period, a.runEpoch)
+}
+
+// Handle processes a RanSub message; the owning protocol calls this for
+// kinds in the ransub range. It returns true if the kind was recognized.
+func (a *Agent) Handle(c *proto.Conn, m proto.Message) bool {
+	switch m.Kind {
+	case KindDistribute:
+		a.onDistribute(m.Payload.(distributeMsg))
+		return true
+	case KindCollect:
+		a.onCollect(c.Peer(a.node).ID, m.Payload.(collectMsg))
+		return true
+	}
+	return false
+}
+
+func (a *Agent) onDistribute(d distributeMsg) {
+	a.epoch = d.epoch
+	a.collectFrom = make(map[netem.NodeID]collectMsg)
+	if a.OnDistribute != nil {
+		a.OnDistribute(d.epoch, d.set)
+	}
+	if len(a.children) == 0 {
+		a.sendCollect()
+		return
+	}
+	for _, id := range a.sortedChildIDs() {
+		c := a.children[id]
+		msg := distributeMsg{epoch: d.epoch, set: a.mixFor(id, d.set)}
+		c.Send(a.node, proto.Message{
+			Kind:    KindDistribute,
+			Size:    candidateWire(len(msg.set)),
+			Payload: msg,
+		})
+	}
+}
+
+func (a *Agent) onCollect(from netem.NodeID, cm collectMsg) {
+	if cm.epoch != a.epoch {
+		return // stale epoch
+	}
+	a.collectFrom[from] = cm
+	a.childSamples[from] = cm.sample
+	if len(a.collectFrom) == len(a.children) {
+		if a.isRoot {
+			a.finishCollect()
+		} else {
+			a.sendCollect()
+		}
+	}
+}
+
+// sendCollect merges child samples with this node's own candidate and
+// forwards a compacted uniform sample up the tree.
+func (a *Agent) sendCollect() {
+	sample, size := a.mergeCollect()
+	msg := collectMsg{epoch: a.epoch, sample: sample, subtreeSize: size}
+	if a.parent != nil {
+		a.parent.Send(a.node, proto.Message{
+			Kind:    KindCollect,
+			Size:    candidateWire(len(sample)),
+			Payload: msg,
+		})
+	}
+}
+
+// finishCollect (root) installs the merged sample as the next epoch's pool.
+func (a *Agent) finishCollect() {
+	sample, _ := a.mergeCollect()
+	a.pool = sample
+}
+
+// mergeCollect draws a weighted uniform sample over this node's subtree:
+// each child contributes proportionally to its subtree size, plus self.
+func (a *Agent) mergeCollect() ([]Candidate, int) {
+	type src struct {
+		sample []Candidate
+		size   int
+	}
+	var sources []src
+	total := 1 // self
+	if a.Summarize != nil {
+		sources = append(sources, src{sample: []Candidate{a.Summarize()}, size: 1})
+	}
+	for _, id := range a.sortedChildIDs() {
+		cm, ok := a.collectFrom[id]
+		if !ok || len(cm.sample) == 0 {
+			continue
+		}
+		sources = append(sources, src{sample: cm.sample, size: cm.subtreeSize})
+		total += cm.subtreeSize
+	}
+	out := make([]Candidate, 0, a.fanout)
+	seen := make(map[netem.NodeID]bool)
+	// Weighted draws with rejection of duplicates; bounded attempts keep it
+	// cheap while approximating a uniform subtree sample.
+	attempts := a.fanout * 4
+	for len(out) < a.fanout && attempts > 0 && len(sources) > 0 {
+		attempts--
+		r := a.rng.Intn(total)
+		var chosen *src
+		for i := range sources {
+			if r < sources[i].size {
+				chosen = &sources[i]
+				break
+			}
+			r -= sources[i].size
+		}
+		if chosen == nil || len(chosen.sample) == 0 {
+			continue
+		}
+		c := chosen.sample[a.rng.Pick(len(chosen.sample))]
+		if seen[c.ID] {
+			continue
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+	}
+	return out, total
+}
+
+// mixFor assembles the distribute set for one child (or for local delivery
+// when child == -1): the incoming set blended with samples from other
+// subtrees and self, excluding the child itself, compacted to fanout.
+func (a *Agent) mixFor(child netem.NodeID, incoming []Candidate) []Candidate {
+	var cands []Candidate
+	cands = append(cands, incoming...)
+	for _, id := range a.sortedSampleIDs() {
+		if id == child {
+			continue // non-descendants flavor
+		}
+		cands = append(cands, a.childSamples[id]...)
+	}
+	if a.Summarize != nil && child != -1 {
+		cands = append(cands, a.Summarize())
+	}
+	// De-duplicate by id keeping the freshest entry (later wins: the
+	// node's own just-built summary overrides stale pool copies). The
+	// receiving child is never advertised to itself; this node's own
+	// candidacy is excluded only from its local delivery (child == -1) —
+	// forwarded sets must keep it, or a node could never be discovered by
+	// its own subtree (in particular, the source by its tree children).
+	byID := make(map[netem.NodeID]Candidate, len(cands))
+	order := make([]netem.NodeID, 0, len(cands))
+	for _, c := range cands {
+		if c.ID == child {
+			continue
+		}
+		if child == -1 && c.ID == a.node.ID {
+			continue
+		}
+		if _, ok := byID[c.ID]; !ok {
+			order = append(order, c.ID)
+		}
+		byID[c.ID] = c
+	}
+	// Uniformly subsample to fanout.
+	a.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	if len(order) > a.fanout {
+		order = order[:a.fanout]
+	}
+	out := make([]Candidate, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+// candidateWire returns the wire size of a message carrying n candidates.
+func candidateWire(n int) float64 {
+	per := 8.0 + (&proto.Summary{}).WireSize()
+	return float64(n)*per + 16
+}

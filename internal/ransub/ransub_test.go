@@ -1,0 +1,213 @@
+package ransub
+
+import (
+	"testing"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/tree"
+)
+
+// rig builds n nodes in a fast uniform network, a random control tree, and
+// a started RanSub agent per node, recording every distribute delivery.
+type rig struct {
+	eng      *sim.Engine
+	rt       *proto.Runtime
+	tr       *tree.Tree
+	agents   map[netem.NodeID]*Agent
+	received map[netem.NodeID][][]Candidate
+}
+
+func newRig(t *testing.T, n int, period float64) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	topo := netem.NewTopology(n)
+	topo.SetUniformAccess(netem.Mbps(100), netem.Mbps(100), netem.MS(1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				topo.SetCoreBW(netem.NodeID(i), netem.NodeID(j), netem.Mbps(100))
+				topo.SetCoreDelay(netem.NodeID(i), netem.NodeID(j), netem.MS(5))
+			}
+		}
+	}
+	net := netem.New(eng, topo, sim.NewRNG(7).Stream("net"))
+	rt := proto.NewRuntime(eng, net)
+	master := sim.NewRNG(7)
+
+	r := &rig{
+		eng:      eng,
+		rt:       rt,
+		agents:   make(map[netem.NodeID]*Agent),
+		received: make(map[netem.NodeID][][]Candidate),
+	}
+	var ids []netem.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, netem.NodeID(i))
+	}
+	r.tr = tree.Build(ids, 0, 4, master.Stream("tree"))
+
+	stores := make(map[netem.NodeID]*proto.BlockStore)
+	for _, id := range ids {
+		node := rt.NewNode(id)
+		id := id
+		stores[id] = proto.NewBlockStore(100)
+		// Give each node a distinct availability set so summaries differ.
+		stores[id].Add(int(id)%100, 0)
+		ag := New(node, master.Stream("rs"), period, DefaultFanout)
+		ag.Summarize = func() Candidate {
+			return Candidate{ID: id, Summary: proto.NewSummary(stores[id])}
+		}
+		ag.OnDistribute = func(epoch int, set []Candidate) {
+			r.received[id] = append(r.received[id], set)
+		}
+		r.agents[id] = ag
+		node.OnMessage = func(c *proto.Conn, m proto.Message) {
+			ag.Handle(c, m)
+		}
+	}
+	// Dial tree links parent->child and wire agents.
+	conns := make(map[[2]netem.NodeID]*proto.Conn)
+	r.tr.Walk(func(id netem.NodeID) {
+		for _, c := range r.tr.Children(id) {
+			conns[[2]netem.NodeID{id, c}] = rt.Node(id).Dial(c)
+		}
+	})
+	r.tr.Walk(func(id netem.NodeID) {
+		children := make(map[netem.NodeID]*proto.Conn)
+		for _, c := range r.tr.Children(id) {
+			children[c] = conns[[2]netem.NodeID{id, c}]
+		}
+		var parent *proto.Conn
+		if id != r.tr.Root() {
+			parent = conns[[2]netem.NodeID{r.tr.Parent(id), id}]
+		}
+		r.agents[id].SetLinks(id == r.tr.Root(), parent, children)
+	})
+	r.agents[r.tr.Root()].Start()
+	return r
+}
+
+func TestEpochsReachAllNodes(t *testing.T) {
+	r := newRig(t, 25, 1.0)
+	r.eng.RunUntil(10.5)
+	for id, sets := range r.received {
+		if len(sets) < 8 {
+			t.Fatalf("node %d received %d distribute sets in 10 epochs, want >= 8", id, len(sets))
+		}
+	}
+	if len(r.received) != 25 {
+		t.Fatalf("only %d nodes ever received a distribute", len(r.received))
+	}
+}
+
+func TestNoSelfOrEmptyAfterWarmup(t *testing.T) {
+	r := newRig(t, 20, 1.0)
+	r.eng.RunUntil(12)
+	for id, sets := range r.received {
+		// Skip the first few epochs: samples need one collect round to fill.
+		for ei, set := range sets {
+			if ei < 3 {
+				continue
+			}
+			if len(set) == 0 {
+				t.Fatalf("node %d epoch %d: empty candidate set after warmup", id, ei)
+			}
+			seen := map[netem.NodeID]bool{}
+			for _, c := range set {
+				if c.ID == id {
+					t.Fatalf("node %d advertised to itself", id)
+				}
+				if seen[c.ID] {
+					t.Fatalf("duplicate candidate %d in one set", c.ID)
+				}
+				seen[c.ID] = true
+				if c.Summary == nil {
+					t.Fatalf("candidate %d missing summary", c.ID)
+				}
+			}
+			if len(set) > DefaultFanout {
+				t.Fatalf("set size %d exceeds fanout %d", len(set), DefaultFanout)
+			}
+		}
+	}
+}
+
+func TestCandidateCoverage(t *testing.T) {
+	// Over many epochs, every node should appear in someone's distribute
+	// sets: the samples must span the whole membership, not a fixed corner.
+	r := newRig(t, 30, 0.5)
+	r.eng.RunUntil(30)
+	appeared := map[netem.NodeID]bool{}
+	for _, sets := range r.received {
+		for _, set := range sets {
+			for _, c := range set {
+				appeared[c.ID] = true
+			}
+		}
+	}
+	missing := 0
+	for i := 0; i < 30; i++ {
+		if !appeared[netem.NodeID(i)] {
+			missing++
+		}
+	}
+	if missing > 1 { // the root itself may legitimately appear rarely early on
+		t.Fatalf("%d nodes never appeared in any candidate set", missing)
+	}
+}
+
+func TestChangingSubsets(t *testing.T) {
+	// Consecutive epochs should deliver *changing* subsets (the paper's
+	// "changing, uniformly random subsets"), not a frozen list.
+	r := newRig(t, 30, 0.5)
+	r.eng.RunUntil(30)
+	for id, sets := range r.received {
+		if len(sets) < 10 {
+			continue
+		}
+		changes := 0
+		for i := 5; i < len(sets)-1; i++ {
+			a := map[netem.NodeID]bool{}
+			for _, c := range sets[i] {
+				a[c.ID] = true
+			}
+			diff := false
+			if len(sets[i]) != len(sets[i+1]) {
+				diff = true
+			}
+			for _, c := range sets[i+1] {
+				if !a[c.ID] {
+					diff = true
+				}
+			}
+			if diff {
+				changes++
+			}
+		}
+		if changes == 0 {
+			t.Fatalf("node %d saw identical candidate sets across all epochs", id)
+		}
+	}
+}
+
+func TestStaleCollectIgnored(t *testing.T) {
+	r := newRig(t, 5, 1.0)
+	r.eng.RunUntil(3)
+	ag := r.agents[r.tr.Root()]
+	before := len(ag.pool)
+	// Inject a stale-epoch collect; it must not corrupt state.
+	ag.onCollect(1, collectMsg{epoch: -5, sample: []Candidate{{ID: 1}}, subtreeSize: 1})
+	if len(ag.pool) != before {
+		t.Fatal("stale collect mutated root pool")
+	}
+}
+
+func TestHandleUnknownKind(t *testing.T) {
+	r := newRig(t, 3, 1.0)
+	ag := r.agents[0]
+	if ag.Handle(nil, proto.Message{Kind: 1}) {
+		t.Fatal("Handle claimed an unknown kind")
+	}
+}

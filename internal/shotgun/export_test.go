@@ -1,0 +1,10 @@
+package shotgun
+
+import "bulletprime/internal/rsyncx"
+
+// Test-only re-exports so shotgun tests can exercise rsyncx plumbing
+// through this package's view of it.
+var (
+	ComputeSignatureForTest = rsyncx.ComputeSignature
+	ComputeDeltaForTest     = rsyncx.ComputeDelta
+)

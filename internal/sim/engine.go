@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which makes runs
+// reproducible for a fixed seed and schedule.
+//
+// All of the overlay protocols and the network emulator in this repository
+// run on top of a single Engine per experiment. Nothing in the engine is
+// goroutine-safe by design: one experiment is one single-threaded event loop,
+// which is both faster and reproducible. Parallelism across experiments is
+// achieved by running independent engines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds from the start of the
+// simulation. A float64 gives sub-microsecond resolution over the hour-long
+// horizons used here while keeping rate arithmetic (bytes/sec) simple.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Seconds returns t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Std converts a virtual time to a time.Duration for display purposes.
+func (t Time) Std() time.Duration { return time.Duration(float64(t) * float64(time.Second)) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Forever is a time later than any event the engine will ever execute.
+const Forever Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. Holding the returned *Event allows
+// cancellation; a cancelled event stays in the heap but is skipped.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time this event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+
+	// Executed counts events that actually fired (not cancelled ones).
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After runs fn after d seconds of virtual time. Negative delays clamp to 0.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+Time(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events in the queue, including cancelled
+// events that have not been popped yet.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Step executes the single next non-cancelled event. It returns false when
+// the queue is empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped {
+		return false
+	}
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is advanced
+// to deadline if the queue drains earlier. It returns the number of events
+// executed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.Executed
+	for !e.stopped {
+		if len(e.heap) == 0 {
+			break
+		}
+		// Peek.
+		next := e.heap[0]
+		if next.cancelled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.Executed - start
+}

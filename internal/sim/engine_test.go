@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	ev.Cancel() // double-cancel must be a no-op
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var ev *Event
+	ev.Cancel() // must not panic
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		e.After(-5, func() {}) // would be in the past if not clamped
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 50 {
+			e.After(1, rec)
+		}
+	}
+	e.After(1, rec)
+	e.Run()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		at := Time(i)
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	n := e.RunUntil(5)
+	if n != 5 {
+		t.Fatalf("RunUntil executed %d, want 5", n)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	n = e.RunUntil(100)
+	if n != 5 {
+		t.Fatalf("second RunUntil executed %d, want 5", n)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100 (advanced to deadline)", e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() { t.Error("cancelled event ran") })
+	ev.Cancel()
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	e.RunUntil(3)
+	if !fired {
+		t.Fatal("live event did not run")
+	}
+}
+
+// Property: any set of scheduled times is executed in nondecreasing order.
+func TestPropertyExecutionOrder(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, ti := range times {
+			at := Time(ti)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving cancellations never loses live events.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(times []uint8, seed int64) bool {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		live := 0
+		fired := 0
+		var evs []*Event
+		for _, ti := range times {
+			evs = append(evs, e.Schedule(Time(ti), func() { fired++ }))
+		}
+		for _, ev := range evs {
+			if rng.Intn(2) == 0 {
+				ev.Cancel()
+			} else {
+				live++
+			}
+		}
+		e.Run()
+		return fired == live
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Stream("x")
+	b := NewRNG(42).Stream("x")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed+stream diverged")
+		}
+	}
+	c := NewRNG(42).Stream("y")
+	d := NewRNG(42).Stream("x")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different streams produced identical output")
+	}
+}
+
+func TestRNGSample(t *testing.T) {
+	r := NewRNG(7)
+	s := r.SampleInts(10, 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate: %d", v)
+		}
+		seen[v] = true
+	}
+	if got := r.SampleInts(3, 99); len(got) != 3 {
+		t.Fatalf("oversample len = %d, want 3", len(got))
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(5, 200)
+		if v < 5 || v >= 200 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ParseFigure reads the text format produced by Figure.Render (and by
+// cmd/bulletctl): a header, then "## series: LABEL" sections of "x y"
+// pairs. Summary-table lines before the first '#' are ignored.
+func ParseFigure(text string) (*Figure, error) {
+	fig := &Figure{}
+	var cur *Series
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "## series:"):
+			if cur != nil {
+				fig.Series = append(fig.Series, *cur)
+			}
+			cur = &Series{Label: strings.TrimSpace(strings.TrimPrefix(line, "## series:"))}
+		case strings.HasPrefix(line, "# x:"):
+			rest := strings.TrimPrefix(line, "# x:")
+			if i := strings.Index(rest, ", y:"); i >= 0 {
+				fig.XLabel = strings.TrimSpace(rest[:i])
+				fig.YLabel = strings.TrimSpace(rest[i+4:])
+			}
+		case strings.HasPrefix(line, "#"):
+			if fig.Title == "" {
+				fig.Title = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+		default:
+			if cur == nil {
+				continue // summary-table rows
+			}
+			var x, y float64
+			if _, err := fmt.Sscanf(line, "%f %f", &x, &y); err != nil {
+				continue
+			}
+			cur.Points = append(cur.Points, [2]float64{x, y})
+		}
+	}
+	if cur != nil {
+		fig.Series = append(fig.Series, *cur)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(fig.Series) == 0 {
+		return nil, fmt.Errorf("trace: no series found")
+	}
+	return fig, nil
+}
+
+// plotGlyphs distinguish series in ASCII plots.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// AsciiPlot renders the figure as a width x height terminal chart with one
+// glyph per series and a legend — a gnuplot stand-in for quick inspection
+// of reproduced figures.
+func (f *Figure) AsciiPlot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Bounds across all series.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xMin = math.Min(xMin, p[0])
+			xMax = math.Max(xMax, p[0])
+			yMin = math.Min(yMin, p[1])
+			yMax = math.Max(yMax, p[1])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return "(no data)\n"
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = bytes_Repeat(' ', width)
+	}
+	for si, s := range f.Series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			cx := int((p[0] - xMin) / (xMax - xMin) * float64(width-1))
+			cy := int((p[1] - yMin) / (yMax - yMin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for i, row := range grid {
+		yVal := yMax - (yMax-yMin)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.1f%*.1f\n", "", width/2, xMin, width-width/2, xMax)
+	if f.XLabel != "" || f.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s, y: %s\n", "", f.XLabel, f.YLabel)
+	}
+	// Legend, stable order.
+	labels := make([]string, 0, len(f.Series))
+	for si, s := range f.Series {
+		labels = append(labels, fmt.Sprintf("  %c %s", plotGlyphs[si%len(plotGlyphs)], s.Label))
+	}
+	sort.Strings(labels[1:]) // keep the first series first; rest sorted for stability
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	return b.String()
+}
+
+func bytes_Repeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

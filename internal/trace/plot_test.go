@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	var a, b CDF
+	for i := 1; i <= 20; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i * 2))
+	}
+	return &Figure{
+		Title:  "sample",
+		XLabel: "time",
+		YLabel: "fraction",
+		Series: []Series{FromCDF("fast", &a), FromCDF("slow", &b)},
+	}
+}
+
+func TestParseFigureRoundTrip(t *testing.T) {
+	fig := sampleFigure()
+	parsed, err := ParseFigure(fig.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Title != "sample" {
+		t.Fatalf("title = %q", parsed.Title)
+	}
+	if parsed.XLabel != "time" || parsed.YLabel != "fraction" {
+		t.Fatalf("axes = %q/%q", parsed.XLabel, parsed.YLabel)
+	}
+	if len(parsed.Series) != 2 {
+		t.Fatalf("%d series", len(parsed.Series))
+	}
+	for i, s := range parsed.Series {
+		if len(s.Points) != len(fig.Series[i].Points) {
+			t.Fatalf("series %d: %d points, want %d", i, len(s.Points), len(fig.Series[i].Points))
+		}
+		if s.Label != fig.Series[i].Label {
+			t.Fatalf("series %d label %q", i, s.Label)
+		}
+	}
+}
+
+func TestParseFigureSkipsSummaryTable(t *testing.T) {
+	text := "header row      best  median\nsysA   1.0  2.0\n" + sampleFigure().Render()
+	parsed, err := ParseFigure(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Series) != 2 {
+		t.Fatalf("%d series (summary rows leaked in?)", len(parsed.Series))
+	}
+}
+
+func TestParseFigureEmpty(t *testing.T) {
+	if _, err := ParseFigure("nothing here"); err == nil {
+		t.Fatal("accepted input without series")
+	}
+}
+
+func TestAsciiPlotContainsSeriesAndAxes(t *testing.T) {
+	out := sampleFigure().AsciiPlot(60, 15)
+	for _, want := range []string{"sample", "fast", "slow", "x: time", "*", "o", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("plot has %d lines, want >= 18", len(lines))
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	fig := &Figure{Series: []Series{{Label: "empty"}}}
+	if out := fig.AsciiPlot(40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+	// Single point: bounds must not divide by zero.
+	one := &Figure{Series: []Series{{Label: "one", Points: [][2]float64{{5, 0.5}}}}}
+	if out := one.AsciiPlot(40, 10); !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestAsciiPlotMinimumDimensions(t *testing.T) {
+	out := sampleFigure().AsciiPlot(1, 1) // clamped internally
+	if len(out) == 0 {
+		t.Fatal("no output at clamped dimensions")
+	}
+}

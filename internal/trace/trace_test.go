@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateMeterBasic(t *testing.T) {
+	m := NewRateMeter(1.0, 16)
+	m.Add(0.5, 1000)
+	m.Add(1.5, 2000)
+	m.Add(2.5, 3000)
+	if m.Total() != 6000 {
+		t.Fatalf("Total = %v, want 6000", m.Total())
+	}
+	// Over the last 3 seconds ending at t=2.9: all 6000 bytes.
+	if got := m.Rate(2.9, 3); math.Abs(got-2000) > 1 {
+		t.Fatalf("Rate(2.9, 3) = %v, want 2000", got)
+	}
+	// Over the last 1 second: only the 3000-byte bucket.
+	if got := m.Rate(2.9, 1); math.Abs(got-3000) > 1 {
+		t.Fatalf("Rate(2.9, 1) = %v, want 3000", got)
+	}
+}
+
+func TestRateMeterExpiry(t *testing.T) {
+	m := NewRateMeter(1.0, 4)
+	m.Add(0.5, 1000)
+	// Far in the future, old buckets must not contribute.
+	if got := m.Rate(100, 3); got != 0 {
+		t.Fatalf("expired rate = %v, want 0", got)
+	}
+	// Bucket reuse: writing at a colliding slot clears the stale count.
+	m.Add(100.5, 500)
+	if got := m.Rate(100.9, 1); math.Abs(got-500) > 1 {
+		t.Fatalf("post-reuse rate = %v, want 500", got)
+	}
+}
+
+func TestRateMeterWindowClamp(t *testing.T) {
+	m := NewRateMeter(1.0, 4)
+	m.Add(0.5, 900)
+	if got := m.Rate(0.9, 100); got <= 0 {
+		t.Fatalf("oversized window returned %v", got)
+	}
+	if got := m.Rate(0.9, 0); got != 0 {
+		t.Fatalf("zero window returned %v", got)
+	}
+}
+
+func TestStatsMoments(t *testing.T) {
+	var s Stats
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", s.Std())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Std() != 0 || s.Var() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestPropertyStatsMatchNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var finite []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				finite = append(finite, x)
+			}
+		}
+		if len(finite) == 0 {
+			return true
+		}
+		var s Stats
+		var sum float64
+		for _, x := range finite {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(finite))
+		var v float64
+		for _, x := range finite {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(finite))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(s.Mean()-mean) < 1e-6*scale && math.Abs(s.Var()-v) < 1e-4*math.Max(1, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	var c CDF
+	for i := 10; i >= 1; i-- {
+		c.Add(float64(i))
+	}
+	if c.N() != 10 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Median() != 5 {
+		t.Fatalf("Median = %v, want 5", c.Median())
+	}
+	if c.Worst() != 10 {
+		t.Fatalf("Worst = %v, want 10", c.Worst())
+	}
+	if got := c.Quantile(0.1); got != 1 {
+		t.Fatalf("Q(0.1) = %v, want 1", got)
+	}
+	if got := c.Mean(); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5.5", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Fatal("empty CDF must be NaN")
+	}
+}
+
+func TestCDFPointsStaircase(t *testing.T) {
+	var c CDF
+	c.Add(3)
+	c.Add(1)
+	c.Add(2)
+	pts := c.Points()
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0][0] != 1 || pts[2][0] != 3 {
+		t.Fatalf("x not sorted: %v", pts)
+	}
+	if math.Abs(pts[0][1]-1.0/3) > 1e-12 || pts[2][1] != 1 {
+		t.Fatalf("fractions wrong: %v", pts)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		var c CDF
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				c.Add(x)
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev || v < clean[0] || v > clean[len(clean)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	var c CDF
+	c.Add(10)
+	c.Add(20)
+	fig := &Figure{
+		Title:  "test figure",
+		XLabel: "time",
+		YLabel: "fraction",
+		Series: []Series{FromCDF("sysA", &c)},
+	}
+	out := fig.Render()
+	for _, want := range []string{"test figure", "sysA", "10.000", "20.000", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	sum := fig.Summary()
+	if !strings.Contains(sum, "sysA") || !strings.Contains(sum, "worst") {
+		t.Fatalf("summary malformed:\n%s", sum)
+	}
+}
+
+func TestFigureSummaryEmptySeries(t *testing.T) {
+	fig := &Figure{Title: "empty", Series: []Series{{Label: "nothing"}}}
+	sum := fig.Summary()
+	if !strings.Contains(sum, "nothing") || !strings.Contains(sum, "-") {
+		t.Fatalf("empty series not dashed:\n%s", sum)
+	}
+}
+
+func TestFromCDFLabel(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	s := FromCDF("x", &c)
+	if s.Label != "x" || len(s.Points) != 1 {
+		t.Fatalf("FromCDF = %+v", s)
+	}
+}
