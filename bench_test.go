@@ -331,6 +331,123 @@ func BenchmarkFairShareRecompute(b *testing.B) {
 	}
 }
 
+// fairShareDynamicScenario drives a churn-heavy dynamic workload on a
+// clustered topology: n nodes in clusters of 10, ~1.5 concurrent transfers
+// per node restarting on completion, and a bandwidth-halving/restore cycle
+// hitting one cluster's links every 100 ms of virtual time. It returns the
+// network so callers can read the recomputation counters.
+func fairShareDynamicScenario(n int, full bool, horizon float64) (*sim.Engine, *netem.Network) {
+	const clusterSize = 10
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	topo := netem.NewTopology(n)
+	topo.SetUniformAccess(netem.Mbps(6), netem.Mbps(6), netem.MS(1))
+	for c := 0; c < n/clusterSize; c++ {
+		base := c * clusterSize
+		for i := 0; i < clusterSize; i++ {
+			for j := 0; j < clusterSize; j++ {
+				if i != j {
+					topo.SetCoreBW(netem.NodeID(base+i), netem.NodeID(base+j), netem.Mbps(4))
+					topo.SetCoreDelay(netem.NodeID(base+i), netem.NodeID(base+j), netem.MS(rng.Uniform(5, 50)))
+				}
+			}
+		}
+	}
+	net := netem.New(eng, topo, rng.Stream("net"))
+	net.FullRecompute = full
+
+	// Per cluster: 15 flows between random distinct members, each a stream
+	// of ~5 s transfers restarting on completion (the churn source).
+	for c := 0; c < n/clusterSize; c++ {
+		base := c * clusterSize
+		for k := 0; k < 15; k++ {
+			src := netem.NodeID(base + rng.Intn(clusterSize))
+			dst := netem.NodeID(base + rng.Intn(clusterSize))
+			if src == dst {
+				dst = netem.NodeID(base + (int(dst)-base+1)%clusterSize)
+			}
+			f := net.NewFlow(src, dst)
+			size := rng.Uniform(1e6, 4e6)
+			var restart func()
+			restart = func() { f.Start(size, restart) }
+			restart()
+		}
+	}
+
+	// Dynamics: every 100 ms halve or restore the intra-cluster links of one
+	// cluster, reporting each change per-link as the harness dynamics do.
+	dynRng := rng.Stream("dyn")
+	halved := make([]bool, n/clusterSize)
+	var tick func()
+	tick = func() {
+		c := dynRng.Intn(n / clusterSize)
+		base := c * clusterSize
+		factor := 0.5
+		if halved[c] {
+			factor = 2.0
+		}
+		halved[c] = !halved[c]
+		for i := 0; i < clusterSize; i++ {
+			for j := 0; j < clusterSize; j++ {
+				if i != j {
+					src, dst := netem.NodeID(base+i), netem.NodeID(base+j)
+					topo.SetCoreBW(src, dst, topo.CoreBW(src, dst)*factor)
+					net.LinkChanged(src, dst)
+				}
+			}
+		}
+		eng.After(0.1, tick)
+	}
+	eng.After(0.1, tick)
+
+	eng.RunUntil(sim.Time(horizon))
+	return eng, net
+}
+
+// benchFairShareDynamic reports the per-mode cost of the 30-virtual-second
+// scenario: wall time per op plus the recomputed-flow-rate counters that the
+// incremental scheme exists to shrink.
+func benchFairShareDynamic(b *testing.B, n int, full bool) {
+	var recomputed, skipped uint64
+	for i := 0; i < b.N; i++ {
+		_, net := fairShareDynamicScenario(n, full, 30)
+		recomputed = net.FlowRatesRecomputed
+		skipped = net.FlowRatesSkipped
+	}
+	b.ReportMetric(float64(recomputed), "rates_recomputed")
+	b.ReportMetric(float64(skipped), "rates_skipped")
+}
+
+func BenchmarkFairShareIncremental100(b *testing.B)  { benchFairShareDynamic(b, 100, false) }
+func BenchmarkFairShareFull100(b *testing.B)         { benchFairShareDynamic(b, 100, true) }
+func BenchmarkFairShareIncremental500(b *testing.B)  { benchFairShareDynamic(b, 500, false) }
+func BenchmarkFairShareFull500(b *testing.B)         { benchFairShareDynamic(b, 500, true) }
+func BenchmarkFairShareIncremental1000(b *testing.B) { benchFairShareDynamic(b, 1000, false) }
+func BenchmarkFairShareFull1000(b *testing.B)        { benchFairShareDynamic(b, 1000, true) }
+
+// BenchmarkSweepParallel measures the parallel experiment driver against
+// the same four seeds run back-to-back (BenchmarkSweepSequential).
+func benchSweep(b *testing.B, parallel int) {
+	sc := harness.TestScale
+	w := harness.Workload{FileBytes: sc.File * 100e6, BlockSize: 16 * 1024}
+	var specs []harness.SweepSpec
+	for seed := int64(1); seed <= 4; seed++ {
+		specs = append(specs, harness.SweepSpec{
+			Label: "bench", Seed: seed, TopoFn: harness.ModelNetTopology(12),
+			Kind: harness.KindBulletPrime, Workload: w, Deadline: 3600,
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		res := harness.Sweep(specs, parallel)
+		if harness.AggregateCDF(res).N() == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 4) }
+
 func BenchmarkBlockStoreDiff(b *testing.B) {
 	s := proto.NewBlockStore(6400)
 	for i := 0; i < 6400; i += 2 {

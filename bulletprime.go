@@ -62,6 +62,10 @@ const (
 	NetworkHighBDP NetworkPreset = "highbdp"
 	// NetworkPlanetLab: heterogeneous wide-area node mix.
 	NetworkPlanetLab NetworkPreset = "planetlab"
+	// NetworkClustered: co-located 25-node sites with fast clean links
+	// inside a cluster and scarce lossy links between clusters — the
+	// large-scale (1000-node) sweep environment.
+	NetworkClustered NetworkPreset = "clustered"
 )
 
 // RequestStrategy re-exports the §3.3.2 request orderings.
@@ -94,6 +98,9 @@ type RunConfig struct {
 	Seed int64
 	// Deadline bounds simulated time (seconds); default 3600.
 	Deadline float64
+	// Parallel is the worker-pool size used when this config is the base of
+	// a Sweep; 0 means one worker per CPU. A single Run ignores it.
+	Parallel int
 
 	// Bullet'-specific knobs (ignored by other protocols).
 	Strategy          RequestStrategy // default RarestRandom
@@ -135,13 +142,15 @@ func (r *Result) quantile(q float64) float64 {
 	return xs[i]
 }
 
-// Run executes the experiment and returns per-node results.
-func Run(cfg RunConfig) (*Result, error) {
+// buildSpec validates and normalizes a RunConfig into a harness spec; Run
+// and Sweep share it so a sweep's rigs are bit-identical to single runs.
+func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
+	var spec harness.SweepSpec
 	if cfg.Nodes < 8 {
-		return nil, fmt.Errorf("bulletprime: need at least 8 nodes, got %d", cfg.Nodes)
+		return spec, fmt.Errorf("bulletprime: need at least 8 nodes, got %d", cfg.Nodes)
 	}
 	if cfg.FileBytes <= 0 {
-		return nil, fmt.Errorf("bulletprime: FileBytes must be positive")
+		return spec, fmt.Errorf("bulletprime: FileBytes must be positive")
 	}
 	if cfg.Protocol == "" {
 		cfg.Protocol = ProtocolBulletPrime
@@ -167,7 +176,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	case ProtocolSplitStream:
 		kind = harness.KindSplitStream
 	default:
-		return nil, fmt.Errorf("bulletprime: unknown protocol %q", cfg.Protocol)
+		return spec, fmt.Errorf("bulletprime: unknown protocol %q", cfg.Protocol)
 	}
 
 	var topoFn func(*sim.RNG) *netem.Topology
@@ -182,8 +191,10 @@ func Run(cfg RunConfig) (*Result, error) {
 		topoFn = harness.HighBDPTopology(cfg.Nodes, 0, 0)
 	case NetworkPlanetLab:
 		topoFn = harness.PlanetLabTopology(cfg.Nodes)
+	case NetworkClustered:
+		topoFn = harness.ClusteredTopology(cfg.Nodes, 0)
 	default:
-		return nil, fmt.Errorf("bulletprime: unknown network preset %q", cfg.Network)
+		return spec, fmt.Errorf("bulletprime: unknown network preset %q", cfg.Network)
 	}
 
 	var dyn func(*harness.Rig)
@@ -198,9 +209,20 @@ func Run(cfg RunConfig) (*Result, error) {
 		c.Encoded = cfg.Encoded
 	}
 
-	w := harness.Workload{FileBytes: cfg.FileBytes, BlockSize: cfg.BlockSize}
-	res := harness.RunOne(string(cfg.Protocol), cfg.Seed, topoFn, dyn, kind, w, coreMut, sim.Time(cfg.Deadline))
+	return harness.SweepSpec{
+		Label:    fmt.Sprintf("%s/%s/seed%d", cfg.Protocol, cfg.Network, cfg.Seed),
+		Seed:     cfg.Seed,
+		TopoFn:   topoFn,
+		Dynamics: dyn,
+		Kind:     kind,
+		Workload: harness.Workload{FileBytes: cfg.FileBytes, BlockSize: cfg.BlockSize},
+		CoreMut:  coreMut,
+		Deadline: sim.Time(cfg.Deadline),
+	}, nil
+}
 
+// toResult converts a harness result to the public form.
+func toResult(res *harness.RunResult) *Result {
 	out := &Result{
 		CompletionTimes: make(map[int]float64, len(res.PerNode)),
 		Finished:        res.Finished,
@@ -209,7 +231,88 @@ func Run(cfg RunConfig) (*Result, error) {
 	for id, t := range res.PerNode {
 		out.CompletionTimes[int(id)] = float64(t)
 	}
-	return out, nil
+	return out
+}
+
+// Run executes the experiment and returns per-node results.
+func Run(cfg RunConfig) (*Result, error) {
+	spec, err := buildSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := harness.RunOne(spec.Label, spec.Seed, spec.TopoFn, spec.Dynamics,
+		spec.Kind, spec.Workload, spec.CoreMut, spec.Deadline)
+	return toResult(res), nil
+}
+
+// SweepConfig describes a parallel experiment sweep: the cross product of
+// Seeds × Protocols × Networks applied to a base configuration. Empty lists
+// default to the base config's single value.
+type SweepConfig struct {
+	// Base supplies everything not varied by the lists below; Base.Parallel
+	// sets the worker-pool size (0 = one worker per CPU).
+	Base      RunConfig
+	Seeds     []int64
+	Protocols []Protocol
+	Networks  []NetworkPreset
+}
+
+// SweepRun is one cell of a sweep's cross product.
+type SweepRun struct {
+	Protocol Protocol
+	Network  NetworkPreset
+	Seed     int64
+	Result   *Result
+}
+
+// Sweep fans the cross product of the config across a worker pool and
+// returns one entry per run, ordered protocol-major, then network, then
+// seed. Every cell is bit-identical to Run with the same single config.
+func Sweep(cfg SweepConfig) ([]SweepRun, error) {
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{cfg.Base.Seed}
+	}
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		p := cfg.Base.Protocol
+		if p == "" {
+			p = ProtocolBulletPrime
+		}
+		protocols = []Protocol{p}
+	}
+	networks := cfg.Networks
+	if len(networks) == 0 {
+		nw := cfg.Base.Network
+		if nw == "" {
+			nw = NetworkModelNet
+		}
+		networks = []NetworkPreset{nw}
+	}
+
+	var runs []SweepRun
+	var specs []harness.SweepSpec
+	for _, p := range protocols {
+		for _, nw := range networks {
+			for _, seed := range seeds {
+				rc := cfg.Base
+				rc.Protocol = p
+				rc.Network = nw
+				rc.Seed = seed
+				spec, err := buildSpec(rc)
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, SweepRun{Protocol: rc.Protocol, Network: rc.Network, Seed: seed})
+				specs = append(specs, spec)
+			}
+		}
+	}
+	results := harness.Sweep(specs, cfg.Base.Parallel)
+	for i, res := range results {
+		runs[i].Result = toResult(res)
+	}
+	return runs, nil
 }
 
 // RenderFigure regenerates one of the paper's evaluation figures (4-15) at

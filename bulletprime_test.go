@@ -60,6 +60,7 @@ func TestRunAllNetworks(t *testing.T) {
 		bulletprime.NetworkConstrained,
 		bulletprime.NetworkHighBDP,
 		bulletprime.NetworkPlanetLab,
+		bulletprime.NetworkClustered,
 	} {
 		res, err := bulletprime.Run(bulletprime.RunConfig{
 			Nodes:     10,
@@ -135,6 +136,59 @@ func TestRunBulletPrimeKnobs(t *testing.T) {
 	}
 	if !res.Finished {
 		t.Fatal("knob run did not finish")
+	}
+}
+
+func TestSweepCrossProductMatchesRun(t *testing.T) {
+	base := bulletprime.RunConfig{Nodes: 10, FileBytes: 1 << 20, Parallel: 4}
+	runs, err := bulletprime.Sweep(bulletprime.SweepConfig{
+		Base:      base,
+		Seeds:     []int64{1, 2},
+		Protocols: []bulletprime.Protocol{bulletprime.ProtocolBulletPrime, bulletprime.ProtocolBitTorrent},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("%d runs, want 4 (2 protocols x 2 seeds)", len(runs))
+	}
+	for _, r := range runs {
+		cfg := base
+		cfg.Protocol = r.Protocol
+		cfg.Network = r.Network
+		cfg.Seed = r.Seed
+		solo, err := bulletprime.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(solo.CompletionTimes) != len(r.Result.CompletionTimes) {
+			t.Fatalf("%s seed %d: sweep found %d completions, solo run %d",
+				r.Protocol, r.Seed, len(r.Result.CompletionTimes), len(solo.CompletionTimes))
+		}
+		for id, at := range solo.CompletionTimes {
+			if r.Result.CompletionTimes[id] != at {
+				t.Fatalf("%s seed %d node %d: sweep %v, solo %v",
+					r.Protocol, r.Seed, id, r.Result.CompletionTimes[id], at)
+			}
+		}
+	}
+}
+
+func TestSweepDefaultsToBaseConfig(t *testing.T) {
+	runs, err := bulletprime.Sweep(bulletprime.SweepConfig{
+		Base: bulletprime.RunConfig{Nodes: 10, FileBytes: 1 << 20, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(runs))
+	}
+	if runs[0].Protocol != bulletprime.ProtocolBulletPrime || runs[0].Network != bulletprime.NetworkModelNet {
+		t.Fatalf("defaults not applied: %s/%s", runs[0].Protocol, runs[0].Network)
+	}
+	if !runs[0].Result.Finished {
+		t.Fatal("default sweep run did not finish")
 	}
 }
 

@@ -1,14 +1,16 @@
 // Command bulletctl regenerates any figure of the paper's evaluation
-// section from the reproduced systems.
+// section from the reproduced systems, and runs parallel experiment sweeps.
 //
 // Usage:
 //
 //	bulletctl -figure 4            # quick, scaled-down run
 //	bulletctl -figure 5 -scale 1   # full paper scale (100 nodes, 100 MB)
 //	bulletctl -list
+//	bulletctl sweep -nodes 100 -seeds 4 -protocols bulletprime,bittorrent -parallel 8
 //
-// Output is gnuplot-style text: a summary table (best/median/p90/worst
-// download times per series) followed by the raw CDF points.
+// Figure output is gnuplot-style text: a summary table (best/median/p90/
+// worst download times per series) followed by the raw CDF points. Sweep
+// output is one summary row per rig plus a pooled row per protocol×network.
 package main
 
 import (
@@ -16,12 +18,18 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
+	"bulletprime"
 	"bulletprime/internal/harness"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
 	var (
 		figure    = flag.Int("figure", 4, "paper figure to regenerate (4..15)")
 		scale     = flag.Float64("scale", 0.25, "experiment scale: 1 = paper scale (100 nodes, 100 MB)")
@@ -95,6 +103,80 @@ func main() {
 		fmt.Print(out)
 	}
 	fmt.Fprintf(os.Stderr, "[figure %d, scale %.2f, %.1fs wall]\n", *figure, *scale, time.Since(start).Seconds())
+}
+
+// runSweep implements the sweep subcommand: a seeds × protocols × networks
+// cross product fanned across a worker pool.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		nodes     = fs.Int("nodes", 100, "overlay size including the source")
+		fileMB    = fs.Float64("filemb", 10, "file size in MB")
+		seeds     = fs.Int("seeds", 4, "number of seeds (1..n)")
+		protocols = fs.String("protocols", "bulletprime", "comma-separated protocols (bulletprime,bullet,bittorrent,splitstream)")
+		networks  = fs.String("networks", "modelnet", "comma-separated network presets")
+		dynamic   = fs.Bool("dynamic", false, "enable the synthetic bandwidth-change process")
+		parallel  = fs.Int("parallel", 0, "worker-pool size (0 = one per CPU)")
+		deadline  = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
+	)
+	fs.Parse(args)
+
+	cfg := bulletprime.SweepConfig{
+		Base: bulletprime.RunConfig{
+			Nodes:            *nodes,
+			FileBytes:        *fileMB * 1e6,
+			DynamicBandwidth: *dynamic,
+			Deadline:         *deadline,
+			Parallel:         *parallel,
+		},
+	}
+	for s := int64(1); s <= int64(*seeds); s++ {
+		cfg.Seeds = append(cfg.Seeds, s)
+	}
+	for _, p := range strings.Split(*protocols, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Protocols = append(cfg.Protocols, bulletprime.Protocol(p))
+		}
+	}
+	for _, nw := range strings.Split(*networks, ",") {
+		if nw = strings.TrimSpace(nw); nw != "" {
+			cfg.Networks = append(cfg.Networks, bulletprime.NetworkPreset(nw))
+		}
+	}
+
+	start := time.Now()
+	runs, err := bulletprime.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-14s %-12s %6s %10s %10s %10s %9s\n",
+		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished")
+	type key struct {
+		p bulletprime.Protocol
+		n bulletprime.NetworkPreset
+	}
+	pooled := make(map[key][]float64)
+	var order []key
+	for _, r := range runs {
+		fmt.Printf("%-14s %-12s %6d %10.1f %10.1f %10.1f %9v\n",
+			r.Protocol, r.Network, r.Seed,
+			r.Result.Best(), r.Result.Median(), r.Result.Worst(), r.Result.Finished)
+		k := key{r.Protocol, r.Network}
+		if _, ok := pooled[k]; !ok {
+			order = append(order, k)
+		}
+		pooled[k] = append(pooled[k], r.Result.Median())
+	}
+	fmt.Println()
+	for _, k := range order {
+		meds := pooled[k]
+		sort.Float64s(meds)
+		fmt.Printf("%-14s %-12s pooled median-of-medians over %d seeds: %.1f s\n",
+			k.p, k.n, len(meds), meds[len(meds)/2])
+	}
+	fmt.Fprintf(os.Stderr, "[%d runs, parallel=%d, %.1fs wall]\n",
+		len(runs), *parallel, time.Since(start).Seconds())
 }
 
 func splitKeep(s string) []string {

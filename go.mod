@@ -1,0 +1,3 @@
+module bulletprime
+
+go 1.24

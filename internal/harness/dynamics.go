@@ -49,9 +49,9 @@ func SyntheticBandwidthChanges(period float64) func(*Rig) {
 						bw = f
 					}
 					r.Net.Topo.SetCoreBW(src, victim, bw)
+					r.Net.LinkChanged(src, victim)
 				}
 			}
-			r.Net.BandwidthChanged()
 			r.Eng.After(period, round)
 		}
 		r.Eng.After(period, round)
@@ -70,7 +70,7 @@ func CascadeDynamics(interval float64) func(*Rig) {
 				return
 			}
 			r.Net.Topo.SetCoreBW(netem.NodeID(next), 7, netem.Kbps(100))
-			r.Net.BandwidthChanged()
+			r.Net.LinkChanged(netem.NodeID(next), 7)
 			next++
 			r.Eng.After(interval, step)
 		}

@@ -206,14 +206,19 @@ func RunOne(label string, seed int64, topoFn func(*sim.RNG) *netem.Topology,
 	}
 }
 
-// runUntilComplete steps the engine in slices so completion can stop the
-// run early instead of simulating until the deadline.
+// runUntilComplete paces the engine by its own event queue so completion
+// can stop the run early: each iteration executes the next event timestamp
+// (capped by the deadline) and re-checks Complete, which is O(1) for every
+// protocol. Unlike fixed-width slicing, nearly-idle tails cost one iteration
+// per remaining event rather than one per empty slice.
 func runUntilComplete(rig *Rig, sys System, deadline sim.Time) {
-	const slice = 5.0
 	for rig.Eng.Now() < deadline && !sys.Complete() {
-		next := rig.Eng.Now() + sim.Time(slice)
-		if next > deadline {
-			next = deadline
+		next, ok := rig.Eng.NextEventAt()
+		if !ok || next > deadline {
+			// Nothing more can happen before the deadline; advance the
+			// clock there and stop.
+			rig.Eng.RunUntil(deadline)
+			return
 		}
 		rig.Eng.RunUntil(next)
 	}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bulletprime/internal/core"
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/trace"
+)
+
+// SweepSpec describes one independent rig of a sweep: the same inputs RunOne
+// takes, bundled so a seeds × protocols × presets cross product can be built
+// up front and fanned across workers.
+type SweepSpec struct {
+	Label    string
+	Seed     int64
+	TopoFn   func(*sim.RNG) *netem.Topology
+	Dynamics func(*Rig)
+	Kind     ProtoKind
+	Workload Workload
+	CoreMut  func(*core.Config)
+	Deadline sim.Time
+}
+
+// run executes the spec exactly as a sequential RunOne would.
+func (s SweepSpec) run() *RunResult {
+	return RunOne(s.Label, s.Seed, s.TopoFn, s.Dynamics, s.Kind, s.Workload,
+		s.CoreMut, s.Deadline)
+}
+
+// Sweep runs every spec across a pool of parallel workers and returns the
+// results in spec order. Each worker owns one rig at a time — one engine per
+// goroutine — so every run is bit-identical to a sequential RunOne with the
+// same spec: determinism is per seed, not per schedule. parallel <= 0 uses
+// GOMAXPROCS.
+func Sweep(specs []SweepSpec, parallel int) []*RunResult {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	results := make([]*RunResult, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(specs) {
+					return
+				}
+				// Workers write disjoint slots; the WaitGroup publishes them.
+				results[i] = specs[i].run()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// AggregateCDF merges the completion-time CDFs of every result into one,
+// e.g. pooling all seeds of one protocol into a single curve.
+func AggregateCDF(results []*RunResult) *trace.CDF {
+	out := &trace.CDF{}
+	for _, r := range results {
+		if r != nil {
+			out.Merge(r.CDF)
+		}
+	}
+	return out
+}

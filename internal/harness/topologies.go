@@ -132,6 +132,45 @@ func CascadeTopology() func(*sim.RNG) *netem.Topology {
 	}
 }
 
+// Scale1000 runs the paper's experiments at 10x the node count; pair it
+// with ClusteredTopology, which is built for that size.
+var Scale1000 = Scale{Nodes: 10, File: 1}
+
+// ClusteredTopology is the large-scale environment for 1000-node sweeps: n
+// nodes in clusters of roughly clusterSize (default 25 when <= 0), modelling
+// co-located sites. Access links are 6 Mbps as in ModelNet; intra-cluster
+// core links are fast and clean (10 Mbps, U[1,5) ms), inter-cluster links
+// are the scarce resource (1.5 Mbps, U[20,200) ms, loss U[0,2%)). Traffic
+// that stays inside a cluster shares no links with other clusters, which is
+// also what makes the emulator's component-partitioned fair-share effective
+// at this scale.
+func ClusteredTopology(n, clusterSize int) func(*sim.RNG) *netem.Topology {
+	if clusterSize <= 0 {
+		clusterSize = 25
+	}
+	return func(rng *sim.RNG) *netem.Topology {
+		t := netem.NewTopology(n)
+		t.SetUniformAccess(netem.Mbps(6), netem.Mbps(6), netem.MS(1))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				src, dst := netem.NodeID(i), netem.NodeID(j)
+				if i/clusterSize == j/clusterSize {
+					t.SetCoreBW(src, dst, netem.Mbps(10))
+					t.SetCoreDelay(src, dst, netem.MS(rng.Uniform(1, 5)))
+				} else {
+					t.SetCoreBW(src, dst, netem.Mbps(1.5))
+					t.SetCoreDelay(src, dst, netem.MS(rng.Uniform(20, 200)))
+					t.SetCoreLoss(src, dst, rng.Uniform(0, 0.02))
+				}
+			}
+		}
+		return t
+	}
+}
+
 // PlanetLabTopology approximates the paper's 41-node wide-area deployment:
 // heterogeneous university-hosted nodes with access rates drawn from a
 // spread of classes, transcontinental RTTs, and light background loss. The

@@ -24,6 +24,12 @@ type Network struct {
 	// RecomputeInterval throttles fair-share recomputation (seconds).
 	RecomputeInterval float64
 
+	// FullRecompute forces the original global waterfill over every active
+	// flow on each recomputation. The default (false) re-waterfills only the
+	// connected components of the flow-sharing graph touched since the last
+	// pass; flows in clean components keep their rates and completion events.
+	FullRecompute bool
+
 	rng     *sim.RNG
 	flows   map[int]*Flow
 	nextID  int
@@ -31,8 +37,26 @@ type Network struct {
 	lastRun sim.Time
 	haveRun bool
 
+	// Incremental state: the cached flow↔resource sharing graph (partition
+	// into connected components) and the resource keys dirtied since the
+	// last recomputation. A key is one side of a node's access link; core
+	// links dirty the access endpoints of their flows, which places every
+	// affected flow in a dirty component.
+	part           *partition
+	partitionStale bool
+	dirtyOut       map[NodeID]struct{}
+	dirtyIn        map[NodeID]struct{}
+	dirtyAll       bool
+	dirtyMark      []bool // per-component scratch, reused across recomputations
+
 	// Recomputes counts fair-share recomputations, for tests and profiling.
 	Recomputes uint64
+	// FlowRatesRecomputed counts flow rates assigned by the waterfiller
+	// across all recomputations; FlowRatesSkipped counts active flow rates
+	// left untouched because their component was clean. Together they
+	// quantify how much work incremental recomputation avoids.
+	FlowRatesRecomputed uint64
+	FlowRatesSkipped    uint64
 	// BytesServed is the total payload bytes fully serialized by all flows.
 	BytesServed float64
 }
@@ -46,6 +70,9 @@ func New(eng *sim.Engine, topo *Topology, rng *sim.RNG) *Network {
 		RecomputeInterval: DefaultRecomputeInterval,
 		rng:               rng,
 		flows:             make(map[int]*Flow),
+		partitionStale:    true,
+		dirtyOut:          make(map[NodeID]struct{}),
+		dirtyIn:           make(map[NodeID]struct{}),
 	}
 }
 
@@ -119,7 +146,7 @@ func (f *Flow) Close() {
 		f.completion = nil
 	}
 	delete(f.net.flows, f.id)
-	f.net.markDirty()
+	f.net.flowChurn(f)
 }
 
 // Start begins serializing a segment of the given size; done fires when the
@@ -144,7 +171,7 @@ func (f *Flow) Start(bytes float64, done func()) {
 	// split evenly with currently active flows on the shared access links.
 	f.rate = f.net.provisionalRate(f)
 	f.scheduleCompletion()
-	f.net.markDirty()
+	f.net.flowChurn(f)
 }
 
 // DeliveryJitter returns a possibly-zero extra latency for a message of the
@@ -218,7 +245,7 @@ func (f *Flow) complete() {
 	f.completion = nil
 	done := f.done
 	f.done = nil
-	f.net.markDirty()
+	f.net.flowChurn(f)
 	if done != nil {
 		done()
 	}
@@ -290,12 +317,41 @@ func (n *Network) markDirty() {
 	n.Eng.Schedule(at, n.recompute)
 }
 
+// touch marks the flow's access-link endpoints dirty: the next recomputation
+// re-waterfills every component reachable from them.
+func (n *Network) touch(f *Flow) {
+	n.dirtyOut[f.src] = struct{}{}
+	n.dirtyIn[f.dst] = struct{}{}
+}
+
+// flowChurn records that f started, completed, or closed: the active-flow
+// set changed, so the cached partition is stale and f's component is dirty.
+func (n *Network) flowChurn(f *Flow) {
+	n.partitionStale = true
+	n.touch(f)
+	n.markDirty()
+}
+
 // BandwidthChanged must be called after mutating topology bandwidths at
-// runtime so allocated rates are refreshed.
-func (n *Network) BandwidthChanged() { n.markDirty() }
+// runtime so allocated rates are refreshed. It invalidates every component;
+// callers that know which link changed should prefer LinkChanged.
+func (n *Network) BandwidthChanged() {
+	n.dirtyAll = true
+	n.markDirty()
+}
+
+// LinkChanged records a bandwidth change on the core link src→dst (or on
+// either endpoint's access link) and schedules a recomputation of just the
+// components sharing capacity with that link.
+func (n *Network) LinkChanged(src, dst NodeID) {
+	n.dirtyOut[src] = struct{}{}
+	n.dirtyIn[dst] = struct{}{}
+	n.markDirty()
+}
 
 // recompute performs the max-min fair allocation with per-flow caps and
-// updates every in-progress transfer.
+// updates in-progress transfers. In incremental mode only the components of
+// the sharing graph dirtied since the last pass are re-waterfilled.
 func (n *Network) recompute() {
 	n.dirty = false
 	n.haveRun = true
@@ -303,10 +359,47 @@ func (n *Network) recompute() {
 	n.lastRun = now
 	n.Recomputes++
 
+	if n.FullRecompute || n.dirtyAll {
+		n.recomputeFull(now)
+		return
+	}
+	n.recomputeIncremental(now)
+}
+
+// waterfillGroup advances and re-waterfills one group of flows — the whole
+// active set or a single component — and reports whether any slow-start cap
+// was binding. In incremental mode, ramping flows re-dirty their components
+// so the ramp keeps advancing even without flow churn.
+func (n *Network) waterfillGroup(flows []*Flow, now sim.Time) (anySS bool) {
+	for _, f := range flows {
+		f.advance(now)
+	}
+	rates, anySS := n.fairShare(flows, now)
+	n.FlowRatesRecomputed += uint64(len(flows))
+	for i, f := range flows {
+		f.rate = rates[i]
+		f.scheduleCompletion()
+	}
+	if anySS && !n.FullRecompute {
+		for _, f := range flows {
+			if f.ssBinding {
+				n.touch(f)
+			}
+		}
+	}
+	return anySS
+}
+
+// recomputeFull is the original global pass: every active flow is advanced
+// and re-waterfilled, regardless of what changed.
+func (n *Network) recomputeFull(now sim.Time) {
+	n.dirtyAll = false
+	clear(n.dirtyOut)
+	clear(n.dirtyIn)
+
 	active := make([]*Flow, 0, len(n.flows))
 	for _, f := range n.flows {
 		if f.open && f.busy {
-			f.advance(now)
 			active = append(active, f)
 		}
 	}
@@ -317,11 +410,55 @@ func (n *Network) recompute() {
 	// (and therefore every downstream rate bit) is deterministic per seed.
 	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
 
-	rates, anySS := n.fairShare(active, now)
-	for i, f := range active {
-		f.rate = rates[i]
-		f.scheduleCompletion()
+	if n.waterfillGroup(active, now) {
+		n.markDirty()
 	}
+}
+
+// recomputeIncremental re-waterfills only the dirty components of the cached
+// sharing graph. Flows in clean components keep their current rates and
+// completion events; max-min allocations decompose exactly over connected
+// components because no resource spans two of them.
+func (n *Network) recomputeIncremental(now sim.Time) {
+	if n.partitionStale || n.part == nil {
+		n.part = n.buildPartition()
+		n.partitionStale = false
+	}
+	part := n.part
+	if cap(n.dirtyMark) < len(part.comps) {
+		n.dirtyMark = make([]bool, len(part.comps))
+	}
+	mark := n.dirtyMark[:len(part.comps)]
+	for i := range mark {
+		mark[i] = false
+	}
+	// The reverse index makes dirty detection O(|dirty endpoints|), not
+	// O(active flows); endpoints with no active flow simply don't resolve.
+	for node := range n.dirtyOut {
+		if ci, ok := part.bySrc[node]; ok {
+			mark[ci] = true
+		}
+	}
+	for node := range n.dirtyIn {
+		if ci, ok := part.byDst[node]; ok {
+			mark[ci] = true
+		}
+	}
+	clear(n.dirtyOut)
+	clear(n.dirtyIn)
+
+	anySS := false
+	recomputed := 0
+	for ci, comp := range part.comps {
+		if !mark[ci] {
+			continue
+		}
+		recomputed += len(comp.flows)
+		if n.waterfillGroup(comp.flows, now) {
+			anySS = true
+		}
+	}
+	n.FlowRatesSkipped += uint64(part.total - recomputed)
 	if anySS {
 		// Keep the slow-start ramp advancing even without flow churn.
 		n.markDirty()
@@ -376,6 +513,7 @@ func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anyS
 	nn := n.Topo.N
 	for i, f := range active {
 		c, ss := f.capNow(now)
+		f.ssBinding = ss
 		anySS = anySS || ss
 		caps[i] = c
 		addToResource(int(f.src), n.Topo.AccessOut[f.src], i)

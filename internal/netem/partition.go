@@ -1,0 +1,110 @@
+package netem
+
+import "sort"
+
+// The incremental fair-share scheme rests on a structural fact about max-min
+// allocation: two flows can only influence each other's rates through a
+// chain of shared resources. Every resource in this emulator — a node's
+// outbound or inbound access link, or a core link — is identified by the
+// src or dst endpoint of the flows using it, so the sharing graph's
+// connected components are exactly the components of the bipartite
+// src/dst graph. Waterfilling a component in isolation yields bit-identical
+// rates to the global pass restricted to it: the per-resource accumulation
+// (frozenUse sums, headroom divisions) only ever involves flows of one
+// component, and freeze order within a component is the same in both.
+
+// component is one connected component of the flow-sharing graph. Flows are
+// kept sorted by id so per-component waterfills accumulate floats in the
+// same order as a global pass.
+type component struct {
+	flows []*Flow
+}
+
+// partition is the cached decomposition of the active-flow set into
+// connected components, rebuilt only when flow membership changes. bySrc
+// and byDst index each endpoint to the single component containing its
+// flows, so dirty detection costs one probe per dirtied endpoint.
+type partition struct {
+	comps []*component
+	bySrc map[NodeID]int
+	byDst map[NodeID]int
+	total int // active flows across all components
+}
+
+// buildPartition groups the currently active flows into connected components
+// with a union-find keyed on flow endpoints: flows sharing a source (one
+// outbound access link) or a destination (one inbound access link) are
+// joined. Core-link sharing needs no extra edges — same-pair flows already
+// share both endpoints.
+func (n *Network) buildPartition() *partition {
+	active := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		if f.open && f.busy {
+			active = append(active, f)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+
+	parent := make([]int, len(active))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Attach the larger root index under the smaller so the
+			// representative is always the lowest flow index.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	bySrc := make(map[NodeID]int)
+	byDst := make(map[NodeID]int)
+	for i, f := range active {
+		if j, ok := bySrc[f.src]; ok {
+			union(i, j)
+		} else {
+			bySrc[f.src] = i
+		}
+		if j, ok := byDst[f.dst]; ok {
+			union(i, j)
+		} else {
+			byDst[f.dst] = i
+		}
+	}
+
+	p := &partition{
+		bySrc: make(map[NodeID]int, len(bySrc)),
+		byDst: make(map[NodeID]int, len(byDst)),
+		total: len(active),
+	}
+	byRoot := make(map[int]int)
+	for i, f := range active {
+		r := find(i)
+		ci, ok := byRoot[r]
+		if !ok {
+			ci = len(p.comps)
+			byRoot[r] = ci
+			p.comps = append(p.comps, &component{})
+		}
+		c := p.comps[ci]
+		c.flows = append(c.flows, f)
+		p.bySrc[f.src] = ci
+		p.byDst[f.dst] = ci
+	}
+	// Roots are lowest flow indices and active is id-sorted, so comps appear
+	// in order of their lowest flow id and each comp's flows stay id-sorted:
+	// the whole structure is deterministic per seed.
+	return p
+}

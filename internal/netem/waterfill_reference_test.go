@@ -2,6 +2,7 @@ package netem
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -116,5 +117,150 @@ func TestWaterfillMatchesReference(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMatchesOracleUnderChurn drives a randomized churn workload
+// — transfers of random size restarting on completion, plus periodic core
+// bandwidth changes reported through LinkChanged — in incremental mode, and
+// at checkpoints asserts every active flow's rate equals the brute-force
+// global waterfill bit-for-bit. This is the contract the component
+// partitioning rests on: clean components must already hold the rates the
+// full pass would assign.
+func TestIncrementalMatchesOracleUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		eng := sim.NewEngine()
+		n := 12
+		topo := NewTopology(n)
+		for i := 0; i < n; i++ {
+			topo.AccessIn[i] = rng.Uniform(2e5, 2e6)
+			topo.AccessOut[i] = rng.Uniform(2e5, 2e6)
+			for j := 0; j < n; j++ {
+				if i != j {
+					topo.SetCoreBW(NodeID(i), NodeID(j), rng.Uniform(1e5, 2e6))
+					topo.SetCoreDelay(NodeID(i), NodeID(j), rng.Uniform(0.001, 0.1))
+				}
+			}
+		}
+		net := New(eng, topo, rng.Stream("net"))
+		if net.FullRecompute {
+			t.Fatal("incremental mode must be the default")
+		}
+
+		// Churn: 20 flow streams restarting with fresh random sizes, so
+		// completions and starts dirty different components over time.
+		for k := 0; k < 20; k++ {
+			src := NodeID(rng.Intn(n))
+			dst := NodeID(rng.Intn(n))
+			if src == dst {
+				dst = (dst + 1) % NodeID(n)
+			}
+			fl := net.NewFlow(src, dst)
+			var restart func()
+			restart = func() { fl.Start(rng.Uniform(5e4, 5e5), restart) }
+			restart()
+		}
+
+		// Dynamics: every 300 ms, scale one random core link.
+		var tick func()
+		tick = func() {
+			src := NodeID(rng.Intn(n))
+			dst := NodeID(rng.Intn(n))
+			if src == dst {
+				dst = (dst + 1) % NodeID(n)
+			}
+			factor := 0.5
+			if rng.Float64() < 0.5 {
+				factor = 1.5
+			}
+			topo.SetCoreBW(src, dst, topo.CoreBW(src, dst)*factor)
+			net.LinkChanged(src, dst)
+			eng.After(0.3, tick)
+		}
+		eng.After(0.3, tick)
+
+		ok := true
+		for _, at := range []sim.Time{0.8, 2.1, 4.4, 7.9} {
+			eng.Schedule(at, func() {
+				// Settle pending dirt, then compare against the global
+				// brute-force pass over all active flows.
+				net.recompute()
+				now := eng.Now()
+				active := make([]*Flow, 0, len(net.flows))
+				for _, fl := range net.flows {
+					if fl.open && fl.busy {
+						active = append(active, fl)
+					}
+				}
+				sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+				if len(active) == 0 {
+					return
+				}
+				want, _ := net.fairShare(active, now)
+				for i, fl := range active {
+					if fl.rate != want[i] {
+						t.Logf("seed=%d t=%v flow %d→%d: incremental %v, oracle %v",
+							seed, now, fl.src, fl.dst, fl.rate, want[i])
+						ok = false
+					}
+				}
+			})
+		}
+		eng.RunUntil(10)
+		if net.FlowRatesSkipped == 0 {
+			t.Logf("seed=%d: incremental path never skipped a flow", seed)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalKeepsCleanComponentsUntouched pins the mechanism itself:
+// with two disjoint flow groups, churn in one must not recompute (or
+// reschedule) the other's rates.
+func TestIncrementalKeepsCleanComponentsUntouched(t *testing.T) {
+	eng := sim.NewEngine()
+	topo := NewTopology(4)
+	topo.SetUniformAccess(Mbps(8), Mbps(8), 0)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				topo.SetCoreBW(NodeID(i), NodeID(j), Mbps(100))
+			}
+		}
+	}
+	net := New(eng, topo, sim.NewRNG(3).Stream("net"))
+	a := net.NewFlow(0, 1) // component A: 0→1
+	b := net.NewFlow(2, 3) // component B: 2→3
+	a.Start(1e9, nil)
+	b.Start(1e9, nil)
+	eng.RunUntil(30) // past slow start; both settled at their access rate
+
+	recomputedBefore := net.FlowRatesRecomputed
+	rateB := b.Rate()
+	evB := b.completion
+
+	// Churn only component A: close and replace its flow.
+	eng.Schedule(eng.Now()+1, func() {
+		a.Close()
+		a2 := net.NewFlow(0, 1)
+		a2.Start(1e9, nil)
+	})
+	eng.RunUntil(35)
+
+	if b.Rate() != rateB {
+		t.Fatalf("clean component's rate changed: %v -> %v", rateB, b.Rate())
+	}
+	if b.completion != evB {
+		t.Fatal("clean component's completion event was rescheduled")
+	}
+	if net.FlowRatesSkipped == 0 {
+		t.Fatal("no flow rates were skipped despite a clean component")
+	}
+	if net.FlowRatesRecomputed == recomputedBefore {
+		t.Fatal("dirty component was not recomputed")
 	}
 }

@@ -39,11 +39,13 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 const Forever Time = Time(math.MaxFloat64)
 
 // Event is a scheduled callback. Holding the returned *Event allows
-// cancellation; a cancelled event stays in the heap but is skipped.
+// cancellation; a cancelled event stays in the heap but is skipped, and the
+// engine compacts the heap when cancelled events dominate it.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	eng       *Engine
 	cancelled bool
 	index     int // heap index, -1 once popped
 }
@@ -54,8 +56,14 @@ func (e *Event) At() Time { return e.at }
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	e.fn = nil // release the closure now; the heap slot may linger
+	if e.eng != nil && e.index >= 0 {
+		e.eng.cancelledInHeap++
+		e.eng.maybeCompact()
 	}
 }
 
@@ -99,13 +107,82 @@ type Engine struct {
 	heap    eventHeap
 	stopped bool
 
+	cancelledInHeap int
+	wallStart       time.Time
+
 	// Executed counts events that actually fired (not cancelled ones).
 	Executed uint64
+	// Compactions counts lazy heap compactions (see maybeCompact).
+	Compactions uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{wallStart: time.Now()}
+}
+
+// Stats is a snapshot of the engine's health counters, for long-run
+// instrumentation: event throughput, cancelled-event occupancy of the heap,
+// and the wall-time cost of each virtual second.
+type Stats struct {
+	Executed         uint64        // events that fired
+	HeapLen          int           // events still queued, cancelled included
+	CancelledPending int           // cancelled events still occupying the heap
+	Compactions      uint64        // lazy compaction passes performed
+	VirtualElapsed   Time          // current virtual clock
+	WallElapsed      time.Duration // wall time since NewEngine
+}
+
+// WallPerVirtualSecond returns wall seconds spent per virtual second, the
+// emulator's fundamental cost metric (0 until the clock advances).
+func (s Stats) WallPerVirtualSecond() float64 {
+	if s.VirtualElapsed <= 0 {
+		return 0
+	}
+	return s.WallElapsed.Seconds() / float64(s.VirtualElapsed)
+}
+
+// Stats returns a snapshot of the engine's instrumentation counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executed:         e.Executed,
+		HeapLen:          len(e.heap),
+		CancelledPending: e.cancelledInHeap,
+		Compactions:      e.Compactions,
+		VirtualElapsed:   e.now,
+		WallElapsed:      time.Since(e.wallStart),
+	}
+}
+
+// compactMinHeap is the heap size below which compaction is never worth it.
+const compactMinHeap = 1024
+
+// maybeCompact rebuilds the heap without cancelled events once they occupy
+// more than half of a large heap. Without this, churn-heavy runs (every
+// recomputation cancels and reschedules completions) accumulate dead events
+// faster than pops retire them, and heap operations degrade as O(log dead).
+func (e *Engine) maybeCompact() {
+	if len(e.heap) < compactMinHeap || e.cancelledInHeap*2 <= len(e.heap) {
+		return
+	}
+	kept := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.cancelled {
+			ev.index = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = kept
+	for i, ev := range e.heap {
+		ev.index = i
+	}
+	heap.Init(&e.heap)
+	e.cancelledInHeap = 0
+	e.Compactions++
 }
 
 // Now returns the current virtual time.
@@ -118,7 +195,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
 	heap.Push(&e.heap, ev)
 	return ev
 }
@@ -147,6 +224,7 @@ func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		ev := heap.Pop(&e.heap).(*Event)
 		if ev.cancelled {
+			e.cancelledInHeap--
 			continue
 		}
 		e.now = ev.at
@@ -155,6 +233,21 @@ func (e *Engine) Step() bool {
 		return true
 	}
 	return false
+}
+
+// NextEventAt returns the timestamp of the next live event, or false when
+// the queue is empty. Cancelled events encountered while peeking are
+// retired.
+func (e *Engine) NextEventAt() (Time, bool) {
+	for len(e.heap) > 0 {
+		if e.heap[0].cancelled {
+			heap.Pop(&e.heap)
+			e.cancelledInHeap--
+			continue
+		}
+		return e.heap[0].at, true
+	}
+	return 0, false
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -176,6 +269,7 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		next := e.heap[0]
 		if next.cancelled {
 			heap.Pop(&e.heap)
+			e.cancelledInHeap--
 			continue
 		}
 		if next.at > deadline {

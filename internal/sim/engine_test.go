@@ -202,6 +202,99 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+func TestHeapCompaction(t *testing.T) {
+	e := NewEngine()
+	// Schedule far more events than compactMinHeap, cancel almost all of
+	// them, and check the heap shrinks without losing live events.
+	var evs []*Event
+	for i := 0; i < 4*compactMinHeap; i++ {
+		evs = append(evs, e.Schedule(Time(i+1), func() {}))
+	}
+	live := 0
+	for i, ev := range evs {
+		if i%8 != 0 {
+			ev.Cancel()
+		} else {
+			live++
+		}
+	}
+	if e.Compactions == 0 {
+		t.Fatal("no compaction despite cancelled events dominating a large heap")
+	}
+	// Cancellations after the last compaction may linger, but the heap must
+	// have shed the bulk of the dead events instead of holding all of them.
+	if e.Pending() > live+compactMinHeap {
+		t.Fatalf("Pending = %d after compaction, want near %d live", e.Pending(), live)
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != live {
+		t.Fatalf("fired %d events, want %d", fired, live)
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	for i := 0; i < 2*compactMinHeap; i++ {
+		at := Time((i * 7919) % 5000) // scattered, duplicated timestamps
+		evs = append(evs, e.Schedule(at, nil))
+	}
+	var fired []Time
+	for i, ev := range evs {
+		if i%4 != 3 {
+			ev.Cancel()
+		} else {
+			at := ev.At()
+			ev.fn = func() { fired = append(fired, at) }
+		}
+	}
+	e.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of order after compaction")
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt reported an event on an empty engine")
+	}
+	ev := e.Schedule(3, func() {})
+	e.Schedule(7, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != 3 {
+		t.Fatalf("NextEventAt = %v,%v, want 3,true", at, ok)
+	}
+	ev.Cancel()
+	if at, ok := e.NextEventAt(); !ok || at != 7 {
+		t.Fatalf("NextEventAt after cancel = %v,%v, want 7,true", at, ok)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("peek did not retire cancelled head: Pending = %d", e.Pending())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	ev := e.Schedule(2, func() {})
+	ev.Cancel()
+	s := e.Stats()
+	if s.CancelledPending != 1 || s.HeapLen != 2 {
+		t.Fatalf("Stats = %+v, want 1 cancelled of 2 queued", s)
+	}
+	e.Run()
+	s = e.Stats()
+	if s.Executed != 1 || s.VirtualElapsed != 1 {
+		t.Fatalf("Stats after run = %+v, want Executed=1 at t=1", s)
+	}
+	if s.WallPerVirtualSecond() <= 0 {
+		t.Fatal("WallPerVirtualSecond must be positive once the clock advanced")
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a := NewRNG(42).Stream("x")
 	b := NewRNG(42).Stream("x")

@@ -137,6 +137,16 @@ func (c *CDF) Add(x float64) {
 // N returns the number of samples.
 func (c *CDF) N() int { return len(c.samples) }
 
+// Merge folds every sample of other into c, for aggregating per-rig CDFs
+// after a sweep. Neither CDF may be mutated concurrently.
+func (c *CDF) Merge(other *CDF) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	c.samples = append(c.samples, other.samples...)
+	c.sorted = false
+}
+
 func (c *CDF) sort() {
 	if !c.sorted {
 		sort.Float64s(c.samples)
