@@ -19,6 +19,7 @@ import (
 	"bulletprime/internal/netem"
 	"bulletprime/internal/proto"
 	"bulletprime/internal/rsyncx"
+	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
 	"bulletprime/internal/trace"
 )
@@ -447,6 +448,92 @@ func benchSweep(b *testing.B, parallel int) {
 
 func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 4) }
+
+// --- Scenario-engine hot path ------------------------------------------------
+//
+// The scenario benchmarks drive the event-application + incremental-recompute
+// path at 500-node scale on the clustered topology: TraceReplay500 applies a
+// looped piecewise trace to a sampled 10% of the overlay's inbound core links
+// every few virtual seconds; Churn500 crashes half the overlay's nodes (each
+// holding live transfers) on exponential lifetimes. Both report the emulator's
+// recomputation counters so scenario-tick cost regressions surface in bench
+// diffs alongside wall time.
+
+// scenarioBenchRig builds a 500-node clustered rig carrying ~1.5 restarting
+// intra-cluster transfers per node, the fair-share load the scenario events
+// must churn through.
+func scenarioBenchRig(seed int64) *harness.Rig {
+	const n, clusterSize = 500, 25
+	topo := harness.ClusteredTopology(n, clusterSize)(sim.NewRNG(seed).Stream("topo"))
+	rig := harness.NewRig(topo, seed)
+	rng := rig.Master.Stream("benchflows")
+	for c := 0; c < n/clusterSize; c++ {
+		base := c * clusterSize
+		for k := 0; k < 3*clusterSize/2; k++ {
+			src := netem.NodeID(base + rng.Intn(clusterSize))
+			dst := netem.NodeID(base + rng.Intn(clusterSize))
+			if src == dst {
+				dst = netem.NodeID(base + (int(dst)-base+1)%clusterSize)
+			}
+			f := rig.Net.NewFlow(src, dst)
+			size := rng.Uniform(1e6, 4e6)
+			var restart func()
+			restart = func() { f.Start(size, restart) }
+			restart()
+		}
+	}
+	return rig
+}
+
+func BenchmarkScenarioTraceReplay500(b *testing.B) {
+	tr := &scenario.Trace{
+		Times:    []float64{0, 3, 5, 9, 12},
+		Values:   []float64{3000, 400, 3000, 1200, 3000},
+		Duration: 15,
+	}
+	sc := scenario.New("bench-trace",
+		scenario.TraceReplay(1, scenario.LinkSet{Frac: 0.1, Dir: "in"}, tr, true))
+	var recomputes, rates uint64
+	for i := 0; i < b.N; i++ {
+		rig := scenarioBenchRig(7)
+		harness.ScenarioDynamics(sc)(rig)
+		rig.Eng.RunUntil(30)
+		recomputes = rig.Net.Recomputes
+		rates = rig.Net.FlowRatesRecomputed
+	}
+	b.ReportMetric(float64(recomputes), "recomputes")
+	b.ReportMetric(float64(rates), "rates_recomputed")
+}
+
+func BenchmarkScenarioChurn500(b *testing.B) {
+	sc := scenario.New("bench-churn",
+		scenario.Churn(0, 0.5, scenario.Dist{Kind: "exp", Mean: 10}))
+	var recomputes, rates uint64
+	for i := 0; i < b.N; i++ {
+		rig := scenarioBenchRig(8)
+		// Protocol nodes with live connections, so every crash tears down
+		// transport state and dirties fair-share components.
+		for _, id := range rig.Members {
+			rig.RT.NewNode(id)
+		}
+		connRng := rig.Master.Stream("benchconns")
+		for k := 0; k < len(rig.Members); k++ {
+			a := rig.Members[connRng.Intn(len(rig.Members))]
+			c := rig.Members[connRng.Intn(len(rig.Members))]
+			if a == c {
+				c = rig.Members[(int(c)+1)%len(rig.Members)]
+			}
+			conn := rig.RT.Node(a).Dial(c)
+			conn.Send(rig.RT.Node(a), proto.Message{Kind: 1, Size: 50e6})
+		}
+		harness.ScenarioDynamics(sc)(rig)
+		rig.Eng.RunUntil(30)
+		recomputes = rig.Net.Recomputes
+		rates = rig.Net.FlowRatesRecomputed
+	}
+	b.ReportMetric(float64(recomputes), "recomputes")
+	b.ReportMetric(float64(rates), "rates_recomputed")
+}
 
 func BenchmarkBlockStoreDiff(b *testing.B) {
 	s := proto.NewBlockStore(6400)

@@ -30,8 +30,23 @@ import (
 	"bulletprime/internal/core"
 	"bulletprime/internal/harness"
 	"bulletprime/internal/netem"
+	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
 )
+
+// Scenario is a declarative experiment schedule: link dynamics, trace
+// replay, stochastic outages, churn, and flash-crowd waves, compiled onto
+// the emulated network deterministically per seed. Build one with the
+// scenario package's helpers or load a JSON file with LoadScenario, then
+// set RunConfig.Scenario. See DESIGN.md §5 for the file format.
+type Scenario = scenario.Scenario
+
+// LoadScenario reads a JSON scenario file, resolving trace_file references
+// relative to the scenario file's directory. Validation against a concrete
+// overlay size happens in Run/Sweep (or scenario.Scenario.Compile).
+func LoadScenario(path string) (*Scenario, error) {
+	return scenario.LoadFile(path)
+}
 
 // Protocol selects the dissemination system for a run.
 type Protocol string
@@ -93,6 +108,12 @@ type RunConfig struct {
 	// DynamicBandwidth enables the §4.1 synthetic bandwidth-change
 	// process (20 s period, cumulative halving).
 	DynamicBandwidth bool
+	// Scenario applies a declarative scenario (LoadScenario or the
+	// scenario package's builders) on top of the preset network: link
+	// dynamics, trace replay, outages, churn, flash-crowd waves. Composes
+	// with DynamicBandwidth; same seed + same scenario ⇒ bit-identical
+	// run.
+	Scenario *Scenario
 	// Seed makes the run reproducible; equal seeds share topology draws
 	// across protocols.
 	Seed int64
@@ -202,6 +223,15 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		dyn = harness.SyntheticBandwidthChanges(20)
 	}
 
+	var prog *scenario.Program
+	if cfg.Scenario != nil {
+		var err error
+		prog, err = cfg.Scenario.Compile(cfg.Nodes)
+		if err != nil {
+			return spec, fmt.Errorf("bulletprime: %w", err)
+		}
+	}
+
 	coreMut := func(c *core.Config) {
 		c.Strategy = cfg.Strategy
 		c.StaticPeers = cfg.StaticPeers
@@ -218,6 +248,7 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		Workload: harness.Workload{FileBytes: cfg.FileBytes, BlockSize: cfg.BlockSize},
 		CoreMut:  coreMut,
 		Deadline: sim.Time(cfg.Deadline),
+		Scenario: prog,
 	}, nil
 }
 
@@ -240,9 +271,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := harness.RunOne(spec.Label, spec.Seed, spec.TopoFn, spec.Dynamics,
-		spec.Kind, spec.Workload, spec.CoreMut, spec.Deadline)
-	return toResult(res), nil
+	return toResult(harness.RunSpec(spec)), nil
 }
 
 // SweepConfig describes a parallel experiment sweep: the cross product of

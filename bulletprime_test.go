@@ -192,6 +192,75 @@ func TestSweepDefaultsToBaseConfig(t *testing.T) {
 	}
 }
 
+// TestScenarioSweepDeterministicAcrossParallelism is the scenario engine's
+// sweep contract: the bundled JSON scenario (trace replay + churn + outage +
+// a two-wave flash crowd) run over several seeds must produce bit-identical
+// per-seed completion CDFs whether the sweep runs on 4 workers or serially.
+func TestScenarioSweepDeterministicAcrossParallelism(t *testing.T) {
+	sc, err := bulletprime.LoadScenario("internal/scenario/testdata/mixed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(parallel int) []bulletprime.SweepRun {
+		runs, err := bulletprime.Sweep(bulletprime.SweepConfig{
+			Base: bulletprime.RunConfig{
+				Nodes:     14,
+				FileBytes: 1 << 20,
+				Scenario:  sc,
+				Deadline:  600,
+				Parallel:  parallel,
+			},
+			Seeds: []int64{1, 2, 3, 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	par := sweep(4)
+	seq := sweep(1)
+	if len(par) != 4 || len(seq) != 4 {
+		t.Fatalf("run counts: parallel %d, sequential %d", len(par), len(seq))
+	}
+	anyCompletions := false
+	for i := range par {
+		p, s := par[i].Result, seq[i].Result
+		if len(p.CompletionTimes) != len(s.CompletionTimes) {
+			t.Fatalf("seed %d: %d completions parallel vs %d sequential",
+				par[i].Seed, len(p.CompletionTimes), len(s.CompletionTimes))
+		}
+		for id, at := range s.CompletionTimes {
+			if p.CompletionTimes[id] != at {
+				t.Fatalf("seed %d node %d: %v parallel vs %v sequential",
+					par[i].Seed, id, p.CompletionTimes[id], at)
+			}
+			anyCompletions = true
+		}
+		if p.Finished != s.Finished {
+			t.Fatalf("seed %d: Finished %v vs %v", par[i].Seed, p.Finished, s.Finished)
+		}
+	}
+	if !anyCompletions {
+		t.Fatal("scenario sweep completed nobody")
+	}
+}
+
+// TestRunScenarioValidation pins facade-level scenario validation: a
+// scenario that cannot compile for the configured overlay size must fail
+// Run with an error, not panic mid-run.
+func TestRunScenarioValidation(t *testing.T) {
+	bad, err := bulletprime.LoadScenario("internal/scenario/testdata/mixed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Events[1].Links.Nodes = []int{99}
+	if _, err := bulletprime.Run(bulletprime.RunConfig{
+		Nodes: 10, FileBytes: 1e6, Scenario: bad,
+	}); err == nil {
+		t.Fatal("accepted a scenario referencing node 99 on a 10-node overlay")
+	}
+}
+
 func TestRenderFigureSmoke(t *testing.T) {
 	out, err := bulletprime.RenderFigure(9, 0.1, 7)
 	if err != nil {

@@ -1,16 +1,21 @@
 // Command bulletctl regenerates any figure of the paper's evaluation
-// section from the reproduced systems, and runs parallel experiment sweeps.
+// section from the reproduced systems, runs single experiments and parallel
+// sweeps, and lints declarative scenario files.
 //
 // Usage:
 //
 //	bulletctl -figure 4            # quick, scaled-down run
 //	bulletctl -figure 5 -scale 1   # full paper scale (100 nodes, 100 MB)
 //	bulletctl -list
+//	bulletctl run -nodes 30 -filemb 10 -scenario rush.json -seed 1
 //	bulletctl sweep -nodes 100 -seeds 4 -protocols bulletprime,bittorrent -parallel 8
+//	bulletctl sweep -scenario rush.json -seeds 8
+//	bulletctl scenario lint -nodes 30 rush.json
 //
 // Figure output is gnuplot-style text: a summary table (best/median/p90/
 // worst download times per series) followed by the raw CDF points. Sweep
 // output is one summary row per rig plus a pooled row per protocol×network.
+// Scenario lint validates a JSON scenario and prints its compiled timeline.
 package main
 
 import (
@@ -26,9 +31,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		runSweep(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			runSweep(os.Args[2:])
+			return
+		case "run":
+			runSingle(os.Args[2:])
+			return
+		case "scenario":
+			runScenario(os.Args[2:])
+			return
+		}
 	}
 	var (
 		figure    = flag.Int("figure", 4, "paper figure to regenerate (4..15)")
@@ -105,6 +119,86 @@ func main() {
 	fmt.Fprintf(os.Stderr, "[figure %d, scale %.2f, %.1fs wall]\n", *figure, *scale, time.Since(start).Seconds())
 }
 
+// loadScenarioOrDie loads a -scenario file, exiting on error.
+func loadScenarioOrDie(path string) *bulletprime.Scenario {
+	if path == "" {
+		return nil
+	}
+	sc, err := bulletprime.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	return sc
+}
+
+// runSingle implements the run subcommand: one experiment, optionally under
+// a declarative scenario, with a per-node completion summary.
+func runSingle(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		nodes    = fs.Int("nodes", 30, "overlay size including the source")
+		fileMB   = fs.Float64("filemb", 10, "file size in MB")
+		protocol = fs.String("protocol", "bulletprime", "protocol (bulletprime,bullet,bittorrent,splitstream)")
+		network  = fs.String("network", "modelnet", "network preset")
+		scenFile = fs.String("scenario", "", "JSON scenario file to apply")
+		dynamic  = fs.Bool("dynamic", false, "enable the synthetic bandwidth-change process")
+		seed     = fs.Int64("seed", 1, "master random seed")
+		deadline = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
+	)
+	fs.Parse(args)
+
+	start := time.Now()
+	res, err := bulletprime.Run(bulletprime.RunConfig{
+		Protocol:         bulletprime.Protocol(*protocol),
+		Nodes:            *nodes,
+		FileBytes:        *fileMB * 1e6,
+		Network:          bulletprime.NetworkPreset(*network),
+		DynamicBandwidth: *dynamic,
+		Scenario:         loadScenarioOrDie(*scenFile),
+		Seed:             *seed,
+		Deadline:         *deadline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-14s %-12s %6s %10s %10s %10s %9s %11s\n",
+		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished", "completions")
+	fmt.Printf("%-14s %-12s %6d %10.1f %10.1f %10.1f %9v %11d\n",
+		*protocol, *network, *seed, res.Best(), res.Median(), res.Worst(),
+		res.Finished, len(res.CompletionTimes))
+	fmt.Fprintf(os.Stderr, "[run, %.1fs wall]\n", time.Since(start).Seconds())
+}
+
+// runScenario implements the scenario subcommand; its only verb is lint,
+// which validates a JSON scenario file and prints the compiled timeline.
+func runScenario(args []string) {
+	if len(args) == 0 || args[0] != "lint" {
+		fmt.Fprintln(os.Stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("scenario lint", flag.ExitOnError)
+	nodes := fs.Int("nodes", 30, "overlay size to validate against")
+	fs.Parse(args[1:])
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
+		os.Exit(2)
+	}
+	sc, err := bulletprime.LoadScenario(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	prog, err := sc.Compile(*nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	fmt.Print(prog.Timeline())
+	fmt.Printf("ok: %s\n", fs.Arg(0))
+}
+
 // runSweep implements the sweep subcommand: a seeds × protocols × networks
 // cross product fanned across a worker pool.
 func runSweep(args []string) {
@@ -116,6 +210,7 @@ func runSweep(args []string) {
 		protocols = fs.String("protocols", "bulletprime", "comma-separated protocols (bulletprime,bullet,bittorrent,splitstream)")
 		networks  = fs.String("networks", "modelnet", "comma-separated network presets")
 		dynamic   = fs.Bool("dynamic", false, "enable the synthetic bandwidth-change process")
+		scenFile  = fs.String("scenario", "", "JSON scenario file applied to every cell")
 		parallel  = fs.Int("parallel", 0, "worker-pool size (0 = one per CPU)")
 		deadline  = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
 	)
@@ -126,6 +221,7 @@ func runSweep(args []string) {
 			Nodes:            *nodes,
 			FileBytes:        *fileMB * 1e6,
 			DynamicBandwidth: *dynamic,
+			Scenario:         loadScenarioOrDie(*scenFile),
 			Deadline:         *deadline,
 			Parallel:         *parallel,
 		},

@@ -1,7 +1,9 @@
-// Flashcrowd: the paper's headline comparison in miniature. A popular file
-// appears at one source and a crowd of nodes races to fetch it; the same
-// emulated network (identical topology seed) is used for all four systems,
-// with and without the §4.1 synthetic bandwidth-change process.
+// Flashcrowd: the paper's headline comparison in miniature, driven by the
+// declarative scenario engine. A popular file appears at one origin and the
+// crowd arrives in two waves — half the nodes immediately, the rest 60 s
+// later — while a DSL-shaped bandwidth trace replays over part of the core
+// and a slice of the crowd churns away mid-download. The same emulated
+// network (identical topology seed) is used for all four systems.
 //
 //	go run ./examples/flashcrowd
 package main
@@ -11,6 +13,7 @@ import (
 	"log"
 
 	"bulletprime"
+	"bulletprime/internal/scenario"
 )
 
 func main() {
@@ -26,22 +29,43 @@ func main() {
 		bulletprime.ProtocolSplitStream,
 	}
 
+	// The crowd scenario: two session waves, a looping congestion trace on
+	// six receivers' inbound links, and 10% churn with 90 s mean lifetimes.
+	// The same description could live in a JSON file and load via
+	// bulletprime.LoadScenario; see DESIGN.md §5.
+	crowd := scenario.New("flash-crowd",
+		scenario.FlashCrowd(
+			scenario.Wave{At: 0, Frac: 0.5},
+			scenario.Wave{At: 60},
+		),
+		scenario.TraceReplay(10,
+			scenario.LinkSet{Frac: 0.2, Dir: "in"},
+			&scenario.Trace{
+				Times:    []float64{0, 20, 35, 60},
+				Values:   []float64{2000, 900, 600, 1400},
+				Duration: 80,
+			}, true),
+		scenario.Churn(15, 0.1, scenario.Dist{Kind: "exp", Mean: 90}),
+	)
+
 	for _, dynamic := range []bool{false, true} {
-		label := "static network (random losses)"
+		label := "calm network (random losses only)"
+		sc := (*bulletprime.Scenario)(nil)
 		if dynamic {
-			label = "dynamic bandwidth (cumulative halving every 20s)"
+			label = "flash-crowd scenario (waves + trace replay + churn)"
+			sc = crowd
 		}
 		fmt.Printf("\n=== flash crowd, %d nodes, 10 MB, %s ===\n", nodes, label)
-		fmt.Printf("%-14s %10s %10s %10s\n", "system", "median(s)", "p90(s)", "worst(s)")
+		fmt.Printf("%-14s %10s %10s %10s %12s\n", "system", "median(s)", "p90(s)", "worst(s)", "completions")
 		for _, p := range protocols {
 			res, err := bulletprime.Run(bulletprime.RunConfig{
-				Protocol:         p,
-				Nodes:            nodes,
-				FileBytes:        file,
-				Network:          bulletprime.NetworkModelNet,
-				DynamicBandwidth: dynamic,
-				Seed:             seed,
-				Deadline:         7200,
+				Protocol:  p,
+				Nodes:     nodes,
+				FileBytes: file,
+				Network:   bulletprime.NetworkModelNet,
+				Scenario:  sc,
+				Seed:      seed,
+				Deadline:  7200,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -50,17 +74,17 @@ func main() {
 			if !res.Finished {
 				status = "  (INCOMPLETE)"
 			}
-			fmt.Printf("%-14s %10.1f %10.1f %10.1f%s\n", p, res.Median(), quant(res, 0.9), res.Worst(), status)
+			fmt.Printf("%-14s %10.1f %10.1f %10.1f %12d%s\n",
+				p, res.Median(), quant(res, 0.9), res.Worst(), len(res.CompletionTimes), status)
 		}
 	}
-	fmt.Println("\nNote: at this miniature scale (30 nodes, 10 MB) tree push can look")
-	fmt.Println("strong — SplitStream's stripe-path bottlenecks and the bandwidth")
-	fmt.Println("dynamics need paper-scale runs to bite. Reproduce the real figures")
-	fmt.Println("with: go run ./cmd/bulletctl -figure 4 -scale 1")
+	fmt.Println("\nNote: under the scenario, churned nodes never finish (the run reports")
+	fmt.Println("INCOMPLETE) and wave-1 nodes cannot complete before t=60. Lint any")
+	fmt.Println("scenario file with: go run ./cmd/bulletctl scenario lint -nodes 30 file.json")
+	fmt.Println("Reproduce the paper's figures with: go run ./cmd/bulletctl -figure 4 -scale 1")
 }
 
 func quant(r *bulletprime.Result, q float64) float64 {
-	// Approximate p90 via Worst/Median helpers not being enough; recompute.
 	times := make([]float64, 0, len(r.CompletionTimes))
 	for _, t := range r.CompletionTimes {
 		times = append(times, t)

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bulletprime/internal/netem"
+	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
 )
 
@@ -14,72 +15,46 @@ import (
 // core) while leaving the experiment solvable. Documented in DESIGN.md.
 const DegradationFloor = 1.0 / 64
 
-// SyntheticBandwidthChanges schedules the §4.1 bandwidth-change process on
-// a rig: every period (20 s in the paper), 50% of the overlay participants
-// are chosen uniformly at random; for each, 50% of the *other* participants
-// have the core links from themselves toward the chosen node halved —
-// without touching the reverse direction. Changes are cumulative (an
-// unlucky pair sits at 25% of original bandwidth after two rounds), bounded
-// below by DegradationFloor.
-func SyntheticBandwidthChanges(period float64) func(*Rig) {
-	return func(r *Rig) {
-		rng := r.Master.Stream("dynamics")
-		n := len(r.Members)
-		floor := make(map[int]float64)
-		for _, src := range r.Members {
-			for _, dst := range r.Members {
-				if src != dst {
-					floor[int(src)*n+int(dst)] = r.Net.Topo.CoreBW(src, dst) * DegradationFloor
-				}
-			}
-		}
-		var round func()
-		round = func() {
-			chosen := rng.SampleInts(n, n/2)
-			for _, vi := range chosen {
-				victim := r.Members[vi]
-				others := rng.SampleInts(n, n/2)
-				for _, oi := range others {
-					src := r.Members[oi]
-					if src == victim {
-						continue
-					}
-					bw := r.Net.Topo.CoreBW(src, victim) * 0.5
-					if f := floor[int(src)*n+int(victim)]; bw < f {
-						bw = f
-					}
-					r.Net.Topo.SetCoreBW(src, victim, bw)
-					r.Net.LinkChanged(src, victim)
-				}
-			}
-			r.Eng.After(period, round)
-		}
-		r.Eng.After(period, round)
-	}
+// SyntheticScenario is the §4.1 bandwidth-change process as a scenario
+// program: every period, 50% of the overlay participants are chosen
+// uniformly at random; for each, 50% of the *other* participants have the
+// core links from themselves toward the chosen node halved — without
+// touching the reverse direction. Changes are cumulative (an unlucky pair
+// sits at 25% of original bandwidth after two rounds), bounded below by
+// DegradationFloor. It draws from the master RNG's "dynamics" stream,
+// exactly like the closure it replaced, so runs are bit-identical.
+func SyntheticScenario(period float64) *scenario.Scenario {
+	return scenario.New("synthetic-bandwidth-changes",
+		scenario.Degrade(period, 0.5, 0.5, 0.5, DegradationFloor))
 }
 
-// CascadeDynamics implements the Figure 12 schedule: every interval (25 s),
-// one more of the 8th node's six inbound 5 Mbps links collapses to
-// 100 Kbps, cumulatively, until all six are degraded.
-func CascadeDynamics(interval float64) func(*Rig) {
-	return func(r *Rig) {
-		next := 1
-		var step func()
-		step = func() {
-			if next > 6 {
-				return
-			}
-			r.Net.Topo.SetCoreBW(netem.NodeID(next), 7, netem.Kbps(100))
-			r.Net.LinkChanged(netem.NodeID(next), 7)
-			next++
-			r.Eng.After(interval, step)
-		}
-		r.Eng.After(interval, step)
+// SyntheticBandwidthChanges schedules the §4.1 bandwidth-change process on
+// a rig (see SyntheticScenario for the process itself).
+func SyntheticBandwidthChanges(period float64) func(*Rig) {
+	return ScenarioDynamics(SyntheticScenario(period))
+}
+
+// CascadeScenario is the Figure 12 schedule as a scenario program: every
+// interval (25 s in the paper), one more of the 8th node's six inbound
+// 5 Mbps links collapses to 100 Kbps, cumulatively, until all six are
+// degraded.
+func CascadeScenario(interval float64) *scenario.Scenario {
+	s := scenario.New("figure12-cascade")
+	for k := 1; k <= 6; k++ {
+		s.Events = append(s.Events, scenario.SetBW(float64(k)*interval,
+			scenario.LinkSet{Pairs: [][2]int{{k, 7}}}, netem.Kbps(100)))
 	}
+	return s
+}
+
+// CascadeDynamics schedules the Figure 12 cascade on a rig (see
+// CascadeScenario).
+func CascadeDynamics(interval float64) func(*Rig) {
+	return ScenarioDynamics(CascadeScenario(interval))
 }
 
 // At schedules an arbitrary topology mutation at an absolute time, for
-// custom experiments.
+// custom experiments beyond the declarative scenario vocabulary.
 func At(t sim.Time, mut func(*netem.Topology)) func(*Rig) {
 	return func(r *Rig) {
 		r.Eng.Schedule(t, func() {

@@ -115,16 +115,27 @@ func (k ProtoKind) String() string {
 	return "unknown"
 }
 
-// BuildSystem instantiates a protocol session on the rig. The coreMut hook
-// lets figure generators tweak Bullet' config (strategies, static peers,
-// outstanding limits); it is ignored for the other systems.
+// BuildSystem instantiates a protocol session over all rig members. The
+// coreMut hook lets figure generators tweak Bullet' config (strategies,
+// static peers, outstanding limits); it is ignored for the other systems.
 func (r *Rig) BuildSystem(kind ProtoKind, w Workload, coreMut func(*core.Config)) System {
+	return r.BuildSystemFor(kind, w, coreMut, r.Members, "")
+}
+
+// BuildSystemFor instantiates a protocol session over one cohort of members;
+// the first member is the session source. streamSuffix distinguishes the RNG
+// streams of concurrent sessions (flash-crowd waves) on one rig; the empty
+// suffix is the classic single-session stream.
+func (r *Rig) BuildSystemFor(kind ProtoKind, w Workload, coreMut func(*core.Config),
+	members []netem.NodeID, streamSuffix string) System {
+
 	onComplete := r.record()
+	source := members[0]
 	switch kind {
 	case KindBulletPrime:
 		cfg := core.Config{
-			Source:     0,
-			Members:    r.Members,
+			Source:     source,
+			Members:    members,
 			NumBlocks:  w.NumBlocks(),
 			BlockSize:  w.BlockSize,
 			Strategy:   core.RarestRandom,
@@ -133,31 +144,31 @@ func (r *Rig) BuildSystem(kind ProtoKind, w Workload, coreMut func(*core.Config)
 		if coreMut != nil {
 			coreMut(&cfg)
 		}
-		return core.NewSession(r.RT, cfg, r.Master.Stream("bulletprime"))
+		return core.NewSession(r.RT, cfg, r.Master.Stream("bulletprime"+streamSuffix))
 	case KindBullet:
 		return bullet.NewSession(r.RT, bullet.Config{
-			Source:     0,
-			Members:    r.Members,
+			Source:     source,
+			Members:    members,
 			NumBlocks:  w.NumBlocks(),
 			BlockSize:  w.BlockSize,
 			OnComplete: onComplete,
-		}, r.Master.Stream("bullet"))
+		}, r.Master.Stream("bullet"+streamSuffix))
 	case KindBitTorrent:
 		return bittorrent.NewSession(r.RT, bittorrent.Config{
-			Source:     0,
-			Members:    r.Members,
+			Source:     source,
+			Members:    members,
 			NumBlocks:  w.NumBlocks(),
 			BlockSize:  w.BlockSize,
 			OnComplete: onComplete,
-		}, r.Master.Stream("bittorrent"))
+		}, r.Master.Stream("bittorrent"+streamSuffix))
 	case KindSplitStream:
 		return splitstream.NewSession(r.RT, splitstream.Config{
-			Source:     0,
-			Members:    r.Members,
+			Source:     source,
+			Members:    members,
 			NumBlocks:  w.NumBlocks(),
 			BlockSize:  w.BlockSize,
 			OnComplete: onComplete,
-		}, r.Master.Stream("splitstream"))
+		}, r.Master.Stream("splitstream"+streamSuffix))
 	}
 	panic(fmt.Sprintf("harness: unknown protocol kind %d", kind))
 }
@@ -188,16 +199,32 @@ func RunOne(label string, seed int64, topoFn func(*sim.RNG) *netem.Topology,
 	dynamics func(*Rig), kind ProtoKind, w Workload, coreMut func(*core.Config),
 	deadline sim.Time) *RunResult {
 
-	topo := topoFn(sim.NewRNG(seed).Stream("topo"))
-	rig := NewRig(topo, seed)
-	sys := rig.BuildSystem(kind, w, coreMut)
-	if dynamics != nil {
-		dynamics(rig)
+	return RunSpec(SweepSpec{
+		Label: label, Seed: seed, TopoFn: topoFn, Dynamics: dynamics,
+		Kind: kind, Workload: w, CoreMut: coreMut, Deadline: deadline,
+	})
+}
+
+// RunSpec executes one experiment spec: rig construction, the optional
+// compiled scenario (timeline events plus flash-crowd wave sessions), the
+// optional dynamics hook, then the run itself. Every sweep cell and RunOne
+// go through here, so a sweep's rigs are bit-identical to single runs.
+func RunSpec(s SweepSpec) *RunResult {
+	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
+	rig := NewRig(topo, s.Seed)
+	var sys System
+	if s.Scenario != nil {
+		sys = buildScenarioSystem(rig, s)
+	} else {
+		sys = rig.BuildSystem(s.Kind, s.Workload, s.CoreMut)
+	}
+	if s.Dynamics != nil {
+		s.Dynamics(rig)
 	}
 	sys.Start()
-	runUntilComplete(rig, sys, deadline)
+	runUntilComplete(rig, sys, s.Deadline)
 	return &RunResult{
-		Label:        label,
+		Label:        s.Label,
 		CDF:          rig.CDF(),
 		PerNode:      rig.Done,
 		Finished:     sys.Complete(),

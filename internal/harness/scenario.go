@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/scenario"
+	"bulletprime/internal/sim"
+)
+
+// rigEnv adapts a Rig to the scenario engine's Env interface: scenario
+// events schedule on the rig's engine, draw from its seeded master RNG, and
+// report topology mutations to the emulator in per-tick batches.
+type rigEnv struct {
+	rig     *Rig
+	sources []netem.NodeID
+}
+
+func (e *rigEnv) Now() float64 { return float64(e.rig.Eng.Now()) }
+
+func (e *rigEnv) Schedule(at float64, fn func()) {
+	t := sim.Time(at)
+	if now := e.rig.Eng.Now(); t < now {
+		t = now
+	}
+	e.rig.Eng.Schedule(t, fn)
+}
+
+func (e *rigEnv) Stream(name string) *sim.RNG { return e.rig.Master.Stream(name) }
+
+func (e *rigEnv) Members() []netem.NodeID { return e.rig.Members }
+
+func (e *rigEnv) Topo() *netem.Topology { return e.rig.Net.Topo }
+
+func (e *rigEnv) LinksChanged(links []netem.LinkRef) { e.rig.Net.LinksChanged(links) }
+
+// Fail crashes the protocol node at id. Rigs without a registered node at
+// that address (pure-emulator benchmarks) take the bandwidth timeline but
+// ignore churn.
+func (e *rigEnv) Fail(id netem.NodeID) {
+	if n := e.rig.RT.Node(id); n != nil {
+		n.Fail()
+	}
+}
+
+func (e *rigEnv) Sources() []netem.NodeID {
+	if len(e.sources) == 0 {
+		return e.rig.Members[:1]
+	}
+	return e.sources
+}
+
+// ScenarioDynamics compiles a scenario and returns it in the harness's
+// dynamics-hook shape, so declarative scenarios slot anywhere a hardcoded
+// schedule used to (RunOne, figure generators, benchmarks). The scenario
+// must not contain flash-crowd waves — those need session construction and
+// only run through SweepSpec.Scenario / RunSpec. Compilation errors panic:
+// a builder-made scenario that fails to compile is a programming error.
+func ScenarioDynamics(s *scenario.Scenario) func(*Rig) {
+	return func(r *Rig) {
+		prog, err := s.Compile(len(r.Members))
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		if prog.Waves() != nil {
+			panic("harness: flash-crowd scenarios must run via SweepSpec.Scenario, not the dynamics hook")
+		}
+		prog.Apply(&rigEnv{rig: r})
+	}
+}
+
+// buildScenarioSystem wires a compiled scenario onto a fresh rig: the event
+// timeline is applied through a rigEnv, and flash-crowd waves (if any)
+// become staggered sessions wrapped in a waveSystem.
+func buildScenarioSystem(rig *Rig, s SweepSpec) System {
+	prog := s.Scenario
+	if prog.N() != len(rig.Members) {
+		panic(fmt.Sprintf("harness: scenario compiled for %d nodes applied to a %d-node rig",
+			prog.N(), len(rig.Members)))
+	}
+	cohorts := prog.ResolveWaves(rig.Master.Stream("scenario/waves"))
+	var sys System
+	env := &rigEnv{rig: rig}
+	if cohorts == nil {
+		sys = rig.BuildSystem(s.Kind, s.Workload, s.CoreMut)
+	} else {
+		ws := &waveSystem{rig: rig}
+		waves := prog.Waves()
+		for i, cohort := range cohorts {
+			suffix := ""
+			if i > 0 {
+				suffix = fmt.Sprintf("/wave%d", i)
+			}
+			// Sessions are built eagerly — proto nodes exist from t=0, so
+			// churn can hit future-wave members — and started at wave time.
+			ws.waves = append(ws.waves, waveEntry{
+				at:  waves[i].At,
+				sys: rig.BuildSystemFor(s.Kind, s.Workload, s.CoreMut, cohort, suffix),
+			})
+			env.sources = append(env.sources, cohort[0])
+		}
+		sys = ws
+	}
+	prog.Apply(env)
+	return sys
+}
+
+// waveEntry is one flash-crowd wave: a session and its start time.
+type waveEntry struct {
+	at      float64
+	sys     System
+	started bool
+}
+
+// waveSystem runs a flash crowd as staggered sessions over one shared
+// emulated network: wave 0 (led by the origin) starts immediately, later
+// waves start at their scheduled times, and the crowd is complete when
+// every wave's session is.
+type waveSystem struct {
+	rig   *Rig
+	waves []waveEntry
+}
+
+// Start launches wave 0 and schedules the rest.
+func (ws *waveSystem) Start() {
+	for i := range ws.waves {
+		w := &ws.waves[i]
+		if w.at <= float64(ws.rig.Eng.Now()) {
+			w.started = true
+			w.sys.Start()
+			continue
+		}
+		ws.rig.Eng.Schedule(sim.Time(w.at), func() {
+			w.started = true
+			w.sys.Start()
+		})
+	}
+}
+
+// Complete reports whether every wave has started and finished.
+func (ws *waveSystem) Complete() bool {
+	for i := range ws.waves {
+		if !ws.waves[i].started || !ws.waves[i].sys.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// DoneAt returns the completion time of the last wave to finish.
+func (ws *waveSystem) DoneAt() sim.Time {
+	var last sim.Time
+	for i := range ws.waves {
+		if t := ws.waves[i].sys.DoneAt(); t > last {
+			last = t
+		}
+	}
+	return last
+}

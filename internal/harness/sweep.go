@@ -7,6 +7,7 @@ import (
 
 	"bulletprime/internal/core"
 	"bulletprime/internal/netem"
+	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
 	"bulletprime/internal/trace"
 )
@@ -23,12 +24,14 @@ type SweepSpec struct {
 	Workload Workload
 	CoreMut  func(*core.Config)
 	Deadline sim.Time
-}
 
-// run executes the spec exactly as a sequential RunOne would.
-func (s SweepSpec) run() *RunResult {
-	return RunOne(s.Label, s.Seed, s.TopoFn, s.Dynamics, s.Kind, s.Workload,
-		s.CoreMut, s.Deadline)
+	// Scenario optionally applies a compiled scenario program — declarative
+	// link dynamics, trace replay, outages, churn, and flash-crowd waves —
+	// to the rig. A Program is immutable, so one compiled scenario fans
+	// across every seed of a sweep; per-seed randomness comes from each
+	// rig's master RNG, keeping every cell bit-identical to a sequential
+	// run of the same seed.
+	Scenario *scenario.Program
 }
 
 // Sweep runs every spec across a pool of parallel workers and returns the
@@ -60,7 +63,7 @@ func Sweep(specs []SweepSpec, parallel int) []*RunResult {
 					return
 				}
 				// Workers write disjoint slots; the WaitGroup publishes them.
-				results[i] = specs[i].run()
+				results[i] = RunSpec(specs[i])
 			}
 		}()
 	}

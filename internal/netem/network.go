@@ -349,6 +349,38 @@ func (n *Network) LinkChanged(src, dst NodeID) {
 	n.markDirty()
 }
 
+// LinkRef names one mutated link for batched change reporting. A core link
+// is (Src, Dst); an access link leaves the far side negative: {Src: i,
+// Dst: -1} is node i's outbound access link, {Src: -1, Dst: i} its inbound.
+type LinkRef struct {
+	Src, Dst NodeID
+}
+
+// OutAccess refers to node i's outbound access link.
+func OutAccess(i NodeID) LinkRef { return LinkRef{Src: i, Dst: -1} }
+
+// InAccess refers to node i's inbound access link.
+func InAccess(i NodeID) LinkRef { return LinkRef{Src: -1, Dst: i} }
+
+// LinksChanged records a batch of link mutations applied at one instant —
+// one scenario tick touching k links — and schedules a single recomputation
+// covering their components. Equivalent to k LinkChanged calls, but the
+// dirty set is accumulated and the recompute scheduled exactly once.
+func (n *Network) LinksChanged(links []LinkRef) {
+	if len(links) == 0 {
+		return
+	}
+	for _, l := range links {
+		if l.Src >= 0 {
+			n.dirtyOut[l.Src] = struct{}{}
+		}
+		if l.Dst >= 0 {
+			n.dirtyIn[l.Dst] = struct{}{}
+		}
+	}
+	n.markDirty()
+}
+
 // recompute performs the max-min fair allocation with per-flow caps and
 // updates in-progress transfers. In incremental mode only the components of
 // the sharing graph dirtied since the last pass are re-waterfilled.

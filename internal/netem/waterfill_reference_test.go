@@ -162,20 +162,45 @@ func TestIncrementalMatchesOracleUnderChurn(t *testing.T) {
 			restart()
 		}
 
-		// Dynamics: every 300 ms, scale one random core link.
+		// Dynamics: every 300 ms, scale a random batch of 1..4 core links.
+		// Odd ticks report each link via LinkChanged, even ticks report the
+		// whole batch via LinksChanged, so both dirty-reporting paths face
+		// the oracle. Occasionally the batch includes an access link.
+		ticks := 0
 		var tick func()
 		tick = func() {
-			src := NodeID(rng.Intn(n))
-			dst := NodeID(rng.Intn(n))
-			if src == dst {
-				dst = (dst + 1) % NodeID(n)
+			ticks++
+			k := 1 + rng.Intn(4)
+			var batch []LinkRef
+			for b := 0; b < k; b++ {
+				src := NodeID(rng.Intn(n))
+				dst := NodeID(rng.Intn(n))
+				if src == dst {
+					dst = (dst + 1) % NodeID(n)
+				}
+				factor := 0.5
+				if rng.Float64() < 0.5 {
+					factor = 1.5
+				}
+				topo.SetCoreBW(src, dst, topo.CoreBW(src, dst)*factor)
+				batch = append(batch, LinkRef{Src: src, Dst: dst})
 			}
-			factor := 0.5
-			if rng.Float64() < 0.5 {
-				factor = 1.5
+			if rng.Float64() < 0.2 {
+				i := rng.Intn(n)
+				topo.AccessIn[i] *= 0.9
+				batch = append(batch, InAccess(NodeID(i)))
 			}
-			topo.SetCoreBW(src, dst, topo.CoreBW(src, dst)*factor)
-			net.LinkChanged(src, dst)
+			if ticks%2 == 1 {
+				for _, l := range batch {
+					if l.Src < 0 || l.Dst < 0 {
+						net.LinksChanged([]LinkRef{l})
+					} else {
+						net.LinkChanged(l.Src, l.Dst)
+					}
+				}
+			} else {
+				net.LinksChanged(batch)
+			}
 			eng.After(0.3, tick)
 		}
 		eng.After(0.3, tick)
@@ -215,6 +240,81 @@ func TestIncrementalMatchesOracleUnderChurn(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLinksChangedMatchesSequentialLinkChanged pins the batching contract:
+// reporting k link mutations through one LinksChanged call must leave the
+// network in exactly the state k individual LinkChanged calls would — same
+// rates bit-for-bit — while scheduling only one recomputation for the tick.
+func TestLinksChangedMatchesSequentialLinkChanged(t *testing.T) {
+	build := func() (*sim.Engine, *Topology, *Network, []*Flow) {
+		rng := sim.NewRNG(11)
+		eng := sim.NewEngine()
+		n := 8
+		topo := NewTopology(n)
+		for i := 0; i < n; i++ {
+			topo.AccessIn[i] = rng.Uniform(2e5, 2e6)
+			topo.AccessOut[i] = rng.Uniform(2e5, 2e6)
+			for j := 0; j < n; j++ {
+				if i != j {
+					topo.SetCoreBW(NodeID(i), NodeID(j), rng.Uniform(1e5, 2e6))
+				}
+			}
+		}
+		net := New(eng, topo, rng.Stream("net"))
+		var flows []*Flow
+		for k := 0; k < 24; k++ {
+			src := NodeID(rng.Intn(n))
+			dst := NodeID(rng.Intn(n))
+			if src == dst {
+				dst = (dst + 1) % NodeID(n)
+			}
+			f := net.NewFlow(src, dst)
+			f.Start(1e12, nil)
+			flows = append(flows, f)
+		}
+		eng.RunUntil(50) // past slow start
+		return eng, topo, net, flows
+	}
+
+	mutate := func(topo *Topology) []LinkRef {
+		var refs []LinkRef
+		for i := 0; i < 5; i++ {
+			src, dst := NodeID(i), NodeID((i+3)%8)
+			topo.SetCoreBW(src, dst, topo.CoreBW(src, dst)*0.4)
+			refs = append(refs, LinkRef{Src: src, Dst: dst})
+		}
+		topo.AccessOut[2] *= 0.5
+		refs = append(refs, OutAccess(2))
+		return refs
+	}
+
+	engA, topoA, netA, flowsA := build()
+	refsA := mutate(topoA)
+	recomputesBefore := netA.Recomputes
+	netA.LinksChanged(refsA)
+	engA.RunUntil(engA.Now() + 1)
+	if netA.Recomputes != recomputesBefore+1 {
+		t.Fatalf("batched tick ran %d recomputations, want 1",
+			netA.Recomputes-recomputesBefore)
+	}
+
+	engB, topoB, netB, flowsB := build()
+	for _, l := range mutate(topoB) {
+		if l.Src >= 0 && l.Dst >= 0 {
+			netB.LinkChanged(l.Src, l.Dst)
+		} else {
+			netB.LinksChanged([]LinkRef{l})
+		}
+	}
+	engB.RunUntil(engB.Now() + 1)
+
+	for i := range flowsA {
+		if flowsA[i].Rate() != flowsB[i].Rate() {
+			t.Fatalf("flow %d: batched rate %v != sequential rate %v",
+				i, flowsA[i].Rate(), flowsB[i].Rate())
+		}
 	}
 }
 

@@ -1,0 +1,794 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+)
+
+// Env is the surface a compiled scenario drives — the harness adapts one
+// experiment rig to it. Everything a scenario does goes through Env: time
+// and scheduling come from the rig's simulation engine, randomness from the
+// rig's seeded master RNG (named substreams), mutations hit the rig's
+// topology and are reported to the emulator in per-tick batches.
+type Env interface {
+	// Now returns the current virtual time in seconds.
+	Now() float64
+	// Schedule runs fn at the absolute virtual time at (clamped to now).
+	Schedule(at float64, fn func())
+	// Stream derives the named deterministic RNG substream.
+	Stream(name string) *sim.RNG
+	// Members lists the overlay participants.
+	Members() []netem.NodeID
+	// Topo is the mutable emulated topology.
+	Topo() *netem.Topology
+	// LinksChanged reports one tick's batch of link mutations.
+	LinksChanged([]netem.LinkRef)
+	// Fail crashes a node (no-op for unknown or already-dead nodes).
+	Fail(netem.NodeID)
+	// Sources lists nodes exempt from churn (dissemination sources).
+	Sources() []netem.NodeID
+}
+
+// Program is a validated, immutable scenario bound to an overlay size.
+// Apply may be called concurrently on different Envs — a parallel sweep
+// binds one shared Program to many rigs.
+type Program struct {
+	name   string
+	notes  string
+	n      int
+	events []Event // normalized: defaults filled, traces attached
+}
+
+// Compile validates the scenario against an overlay of n nodes and returns
+// the executable program. The scenario itself is not retained; events are
+// deep-copied, so editing the scenario after Compile (or compiling one
+// loaded scenario from several goroutines) cannot alias into a validated
+// Program.
+func (s *Scenario) Compile(n int) (*Program, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario %q: need at least 2 nodes, got %d", s.Name, n)
+	}
+	p := &Program{name: s.Name, notes: s.Notes, n: n}
+	flashcrowds := 0
+	for i := range s.Events {
+		ev := cloneEvent(s.Events[i])
+		if err := normalizeEvent(&ev, n); err != nil {
+			return nil, fmt.Errorf("scenario %q event %d (%s): %w", s.Name, i, ev.Kind, err)
+		}
+		if ev.Kind == KindFlashCrowd {
+			flashcrowds++
+			if flashcrowds > 1 {
+				return nil, fmt.Errorf("scenario %q: more than one flashcrowd event", s.Name)
+			}
+		}
+		p.events = append(p.events, ev)
+	}
+	return p, nil
+}
+
+// cloneEvent deep-copies one event: every pointer and slice the program
+// could read later is detached from the caller's scenario.
+func cloneEvent(ev Event) Event {
+	if ev.Links != nil {
+		links := *ev.Links
+		links.Pairs = append([][2]int(nil), ev.Links.Pairs...)
+		links.Nodes = append([]int(nil), ev.Links.Nodes...)
+		ev.Links = &links
+	}
+	if ev.Trace != nil {
+		tr := *ev.Trace
+		tr.Times = append([]float64(nil), ev.Trace.Times...)
+		tr.Values = append([]float64(nil), ev.Trace.Values...)
+		ev.Trace = &tr
+	}
+	if ev.Lifetime != nil {
+		d := *ev.Lifetime
+		ev.Lifetime = &d
+	}
+	ev.Nodes = append([]int(nil), ev.Nodes...)
+	if ev.Waves != nil {
+		waves := make([]Wave, len(ev.Waves))
+		for i, w := range ev.Waves {
+			w.Nodes = append([]int(nil), w.Nodes...)
+			waves[i] = w
+		}
+		ev.Waves = waves
+	}
+	return ev
+}
+
+// Name returns the scenario name.
+func (p *Program) Name() string { return p.name }
+
+// N returns the overlay size the program was compiled for.
+func (p *Program) N() int { return p.n }
+
+// normalizeEvent validates one event and fills kind-specific defaults.
+func normalizeEvent(ev *Event, n int) error {
+	if ev.At < 0 {
+		return fmt.Errorf("negative start time %v", ev.At)
+	}
+	needLinks := func() error {
+		if ev.Links == nil {
+			return fmt.Errorf("missing links selector")
+		}
+		if err := ev.Links.validate(n); err != nil {
+			return err
+		}
+		if ev.Links.Dir == "" {
+			ev.Links.Dir = "both"
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case KindSetBW:
+		if err := needLinks(); err != nil {
+			return err
+		}
+		if ev.BWKbps <= 0 {
+			return fmt.Errorf("bw_kbps must be positive, got %v", ev.BWKbps)
+		}
+		if ev.Count > 0 && ev.Period <= 0 {
+			return fmt.Errorf("count %d needs a positive period", ev.Count)
+		}
+	case KindScaleBW:
+		if err := needLinks(); err != nil {
+			return err
+		}
+		if ev.Factor <= 0 {
+			return fmt.Errorf("factor must be positive, got %v", ev.Factor)
+		}
+		if ev.Floor < 0 || ev.Floor >= 1 {
+			return fmt.Errorf("floor %v outside [0,1)", ev.Floor)
+		}
+		if ev.Count > 0 && ev.Period <= 0 {
+			return fmt.Errorf("count %d needs a positive period", ev.Count)
+		}
+	case KindDegrade:
+		if ev.Period <= 0 {
+			return fmt.Errorf("degrade needs a positive period")
+		}
+		if ev.VictimFrac == 0 {
+			ev.VictimFrac = 0.5
+		}
+		if ev.SourceFrac == 0 {
+			ev.SourceFrac = 0.5
+		}
+		if ev.Factor == 0 {
+			ev.Factor = 0.5
+		}
+		if ev.VictimFrac < 0 || ev.VictimFrac > 1 || ev.SourceFrac < 0 || ev.SourceFrac > 1 {
+			return fmt.Errorf("victim/source fractions outside [0,1]")
+		}
+		if ev.Factor <= 0 {
+			return fmt.Errorf("factor must be positive")
+		}
+		if ev.Floor < 0 || ev.Floor >= 1 {
+			return fmt.Errorf("floor %v outside [0,1)", ev.Floor)
+		}
+		if ev.Stream == "" {
+			ev.Stream = "dynamics"
+		}
+	case KindTrace:
+		if err := needLinks(); err != nil {
+			return err
+		}
+		if ev.Trace == nil {
+			if ev.TraceFile != "" {
+				return fmt.Errorf("trace_file %q not loaded — use LoadFile, or attach the trace inline", ev.TraceFile)
+			}
+			return fmt.Errorf("missing trace")
+		}
+		if ev.Stretch == 0 {
+			ev.Stretch = 1
+		}
+		if ev.Scale == 0 {
+			ev.Scale = 1
+		}
+		if ev.Stretch <= 0 || ev.Scale <= 0 {
+			return fmt.Errorf("stretch and scale must be positive")
+		}
+		if ev.Mode == "" {
+			ev.Mode = "set"
+		}
+		if ev.Mode != "set" && ev.Mode != "scale" {
+			return fmt.Errorf("trace mode %q (want set or scale)", ev.Mode)
+		}
+		if err := ev.Trace.validate(ev.Loop); err != nil {
+			return err
+		}
+	case KindOutage:
+		if err := needLinks(); err != nil {
+			return err
+		}
+		if ev.MeanUp <= 0 || ev.MeanDown <= 0 {
+			return fmt.Errorf("outage needs positive mean_up and mean_down")
+		}
+		if ev.DownKbps == 0 {
+			ev.DownKbps = 8 // ~1 KB/s: nearly, but not exactly, dead
+		}
+		if ev.DownKbps < 0 {
+			return fmt.Errorf("down_kbps must be positive")
+		}
+		if ev.Stream == "" {
+			ev.Stream = "outage"
+		}
+	case KindChurn:
+		if ev.Frac <= 0 || ev.Frac > 1 {
+			return fmt.Errorf("churn frac %v outside (0,1]", ev.Frac)
+		}
+		if ev.Lifetime == nil {
+			return fmt.Errorf("churn needs a lifetime distribution")
+		}
+		if err := ev.Lifetime.validate(); err != nil {
+			return err
+		}
+		if ev.Stream == "" {
+			ev.Stream = "churn"
+		}
+	case KindFail:
+		if len(ev.Nodes) == 0 {
+			return fmt.Errorf("fail needs nodes")
+		}
+		for _, v := range ev.Nodes {
+			if v < 0 || v >= n {
+				return fmt.Errorf("fail node %d out of range for %d nodes", v, n)
+			}
+		}
+	case KindFlashCrowd:
+		return normalizeWaves(ev, n)
+	default:
+		return fmt.Errorf("unknown kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// normalizeWaves validates a flashcrowd event. Waves are either all
+// fraction-based (cohorts carved from a seeded shuffle of the non-source
+// members; the last wave takes the remainder) or all explicit node lists
+// (disjoint, covering every member).
+func normalizeWaves(ev *Event, n int) error {
+	if len(ev.Waves) == 0 {
+		return fmt.Errorf("flashcrowd needs at least one wave")
+	}
+	if ev.Waves[0].At != 0 {
+		return fmt.Errorf("the first wave must start at t=0 (the origin's session)")
+	}
+	explicit, fractional := 0, 0
+	for i, w := range ev.Waves {
+		if i > 0 && w.At <= ev.Waves[i-1].At {
+			return fmt.Errorf("wave %d start %v not after wave %d start %v",
+				i, w.At, i-1, ev.Waves[i-1].At)
+		}
+		switch {
+		case len(w.Nodes) > 0 && w.Frac > 0:
+			return fmt.Errorf("wave %d sets both nodes and frac", i)
+		case len(w.Nodes) > 0:
+			explicit++
+		case w.Frac > 0 || i == len(ev.Waves)-1:
+			// The last wave may omit frac: it takes the remainder.
+			fractional++
+		default:
+			return fmt.Errorf("wave %d selects no members (need frac or nodes)", i)
+		}
+	}
+	if explicit > 0 && fractional > 0 {
+		return fmt.Errorf("waves must be all explicit node lists or all fractions")
+	}
+	if explicit > 0 {
+		seen := make(map[int]int)
+		for i, w := range ev.Waves {
+			if len(w.Nodes) < 2 {
+				return fmt.Errorf("wave %d has %d nodes; a session needs at least 2", i, len(w.Nodes))
+			}
+			for _, v := range w.Nodes {
+				if v < 0 || v >= n {
+					return fmt.Errorf("wave %d node %d out of range for %d nodes", i, v, n)
+				}
+				if prev, dup := seen[v]; dup {
+					return fmt.Errorf("node %d appears in waves %d and %d", v, prev, i)
+				}
+				seen[v] = i
+			}
+		}
+		if len(seen) != n {
+			return fmt.Errorf("explicit waves cover %d of %d nodes; every member needs a wave", len(seen), n)
+		}
+		if seen[0] != 0 {
+			return fmt.Errorf("node 0 (the origin) must be in the first wave")
+		}
+		return nil
+	}
+	// Fraction-based: check the cohorts that will be carved out of the n-1
+	// non-origin members are all large enough to form sessions.
+	counts := waveCounts(ev.Waves, n)
+	for i, c := range counts {
+		min := 2
+		if i == 0 {
+			min = 1 // the origin joins wave 0
+		}
+		if c < min {
+			return fmt.Errorf("wave %d resolves to %d members at n=%d; a session needs at least 2", i, c, n)
+		}
+	}
+	return nil
+}
+
+// frcount is the scenario's single fraction→count rule: floor(k·frac), with
+// an epsilon so binary-exact fractions (0.5 of 10) land on the intuitive
+// value. Matches the paper's "50% of participants" = n/2.
+func frcount(k int, frac float64) int {
+	c := int(float64(k)*frac + 1e-9)
+	if c > k {
+		c = k
+	}
+	return c
+}
+
+// waveCounts resolves fraction-based wave sizes over the n-1 non-origin
+// members; the last wave takes the remainder.
+func waveCounts(waves []Wave, n int) []int {
+	m := n - 1
+	counts := make([]int, len(waves))
+	assigned := 0
+	for i, w := range waves {
+		if i == len(waves)-1 {
+			counts[i] = m - assigned
+			break
+		}
+		c := frcount(m, w.Frac)
+		if c > m-assigned {
+			c = m - assigned
+		}
+		counts[i] = c
+		assigned += c
+	}
+	return counts
+}
+
+// Waves returns the flashcrowd wave specs, or nil when the scenario has no
+// flash crowd (a single session over all members).
+func (p *Program) Waves() []Wave {
+	for _, ev := range p.events {
+		if ev.Kind == KindFlashCrowd {
+			return ev.Waves
+		}
+	}
+	return nil
+}
+
+// ResolveWaves maps the wave specs onto concrete cohorts for one rig. The
+// first node of each cohort is the wave's session source; node 0 (the
+// origin) leads wave 0. Fraction-based cohorts are carved from a shuffle
+// drawn on rng, so cohort membership is deterministic per seed.
+func (p *Program) ResolveWaves(rng *sim.RNG) [][]netem.NodeID {
+	waves := p.Waves()
+	if waves == nil {
+		return nil
+	}
+	if len(waves[0].Nodes) > 0 {
+		out := make([][]netem.NodeID, len(waves))
+		for i, w := range waves {
+			cohort := make([]netem.NodeID, len(w.Nodes))
+			for j, v := range w.Nodes {
+				cohort[j] = netem.NodeID(v)
+			}
+			// Lead with the lowest id, like the fractional path: the wave
+			// source must not depend on JSON list order, and node 0 leads
+			// wave 0 (validation puts it there).
+			sort.Slice(cohort, func(a, b int) bool { return cohort[a] < cohort[b] })
+			out[i] = cohort
+		}
+		return out
+	}
+	rest := make([]int, 0, p.n-1)
+	for v := 1; v < p.n; v++ {
+		rest = append(rest, v)
+	}
+	rng.ShuffleInts(rest)
+	counts := waveCounts(waves, p.n)
+	out := make([][]netem.NodeID, len(waves))
+	next := 0
+	for i, c := range counts {
+		cohort := make([]netem.NodeID, 0, c+1)
+		if i == 0 {
+			cohort = append(cohort, 0)
+		}
+		for j := 0; j < c && next < len(rest); j++ {
+			cohort = append(cohort, netem.NodeID(rest[next]))
+			next++
+		}
+		// Lead with the lowest id so the wave source is well defined.
+		sort.Slice(cohort, func(a, b int) bool { return cohort[a] < cohort[b] })
+		out[i] = cohort
+	}
+	return out
+}
+
+// Apply binds the program's timeline to one rig: every event schedules its
+// mutations on the env. Flash-crowd waves are not applied here — the
+// harness reads them via Waves/ResolveWaves and builds the sessions.
+// Apply must run before the experiment starts (virtual time zero) so
+// absolute event times line up.
+func (p *Program) Apply(env Env) {
+	for i := range p.events {
+		ev := &p.events[i]
+		switch ev.Kind {
+		case KindSetBW:
+			p.applySetBW(env, ev)
+		case KindScaleBW:
+			p.applyScaleBW(env, ev)
+		case KindDegrade:
+			p.applyDegrade(env, ev)
+		case KindTrace:
+			p.applyTrace(env, ev)
+		case KindOutage:
+			p.applyOutage(env, ev)
+		case KindChurn:
+			p.applyChurn(env, ev)
+		case KindFail:
+			at := ev.At
+			nodes := ev.Nodes
+			env.Schedule(at, func() {
+				for _, v := range nodes {
+					env.Fail(netem.NodeID(v))
+				}
+			})
+		case KindFlashCrowd:
+			// Session construction belongs to the harness.
+		}
+	}
+}
+
+// resolveLinkSet maps a LinkSet onto concrete links. Fraction sampling draws
+// node choices from the event's stream (or "links" when the event has none),
+// at Apply time, so the resolved set is fixed for the run and deterministic
+// per seed.
+func resolveLinkSet(ls *LinkSet, env Env, stream string) resolvedLinks {
+	members := env.Members()
+	var r resolvedLinks
+	if len(ls.Pairs) > 0 {
+		for _, pr := range ls.Pairs {
+			r.core = append(r.core, netem.LinkRef{Src: netem.NodeID(pr[0]), Dst: netem.NodeID(pr[1])})
+		}
+		return r
+	}
+	var nodes []netem.NodeID
+	switch {
+	case len(ls.Nodes) > 0:
+		for _, v := range ls.Nodes {
+			nodes = append(nodes, netem.NodeID(v))
+		}
+	case ls.Frac > 0:
+		if stream == "" {
+			stream = "links"
+		}
+		rng := env.Stream(stream)
+		for _, i := range rng.SampleInts(len(members), frcount(len(members), ls.Frac)) {
+			nodes = append(nodes, members[i])
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+	default: // All
+		nodes = append(nodes, members...)
+	}
+	if ls.Access != "" {
+		for _, v := range nodes {
+			if ls.Access == "in" || ls.Access == "both" {
+				r.accessIn = append(r.accessIn, v)
+			}
+			if ls.Access == "out" || ls.Access == "both" {
+				r.accessOut = append(r.accessOut, v)
+			}
+		}
+		return r
+	}
+	seen := make(map[netem.LinkRef]bool)
+	add := func(src, dst netem.NodeID) {
+		ref := netem.LinkRef{Src: src, Dst: dst}
+		if src != dst && !seen[ref] {
+			seen[ref] = true
+			r.core = append(r.core, ref)
+		}
+	}
+	for _, v := range nodes {
+		for _, o := range members {
+			if ls.Dir == "in" || ls.Dir == "both" {
+				add(o, v)
+			}
+			if ls.Dir == "out" || ls.Dir == "both" {
+				add(v, o)
+			}
+		}
+	}
+	return r
+}
+
+// repeat schedules fn at start, then every period (count times total;
+// count 0 = unbounded).
+func repeat(env Env, start, period float64, count int, fn func()) {
+	fired := 0
+	var tick func()
+	tick = func() {
+		fn()
+		fired++
+		if period > 0 && (count == 0 || fired < count) {
+			env.Schedule(env.Now()+period, tick)
+		}
+	}
+	env.Schedule(start, tick)
+}
+
+func (p *Program) applySetBW(env Env, ev *Event) {
+	links := resolveLinkSet(ev.Links, env, ev.Stream)
+	bw := netem.Kbps(ev.BWKbps)
+	topo := env.Topo()
+	refs := links.refs()
+	count := ev.Count
+	if ev.Period <= 0 {
+		count = 1
+	}
+	repeat(env, ev.At, ev.Period, count, func() {
+		links.setAll(topo, bw)
+		env.LinksChanged(refs)
+	})
+}
+
+func (p *Program) applyScaleBW(env Env, ev *Event) {
+	links := resolveLinkSet(ev.Links, env, ev.Stream)
+	topo := env.Topo()
+	var floors []float64
+	if ev.Floor > 0 {
+		floors = links.snapshot(topo)
+		for i := range floors {
+			floors[i] *= ev.Floor
+		}
+	}
+	factor := ev.Factor
+	refs := links.refs()
+	count := ev.Count
+	if ev.Period <= 0 {
+		count = 1
+	}
+	repeat(env, ev.At, ev.Period, count, func() {
+		links.scaleAll(topo, factor, floors)
+		env.LinksChanged(refs)
+	})
+}
+
+// applyDegrade reproduces the §4.1 process. The round structure, RNG stream
+// ("dynamics" by default), and draw order match the original hardcoded
+// closure exactly, which is what makes the legacy-equivalence test hold
+// bit-for-bit.
+func (p *Program) applyDegrade(env Env, ev *Event) {
+	rng := env.Stream(ev.Stream)
+	members := env.Members()
+	topo := env.Topo()
+	n := len(members)
+	var floor map[int]float64
+	if ev.Floor > 0 {
+		floor = make(map[int]float64, n*(n-1))
+		for vi, src := range members {
+			for oi, dst := range members {
+				if src != dst {
+					floor[vi*n+oi] = topo.CoreBW(src, dst) * ev.Floor
+				}
+			}
+		}
+	}
+	victims := frcount(n, ev.VictimFrac)
+	srcs := frcount(n, ev.SourceFrac)
+	factor := ev.Factor
+	rounds := 0
+	var round func()
+	round = func() {
+		var batch []netem.LinkRef
+		for _, vi := range rng.SampleInts(n, victims) {
+			victim := members[vi]
+			for _, oi := range rng.SampleInts(n, srcs) {
+				src := members[oi]
+				if src == victim {
+					continue
+				}
+				bw := topo.CoreBW(src, victim) * factor
+				if floor != nil {
+					if f := floor[oi*n+vi]; bw < f {
+						bw = f
+					}
+				}
+				topo.SetCoreBW(src, victim, bw)
+				batch = append(batch, netem.LinkRef{Src: src, Dst: victim})
+			}
+		}
+		env.LinksChanged(batch)
+		rounds++
+		if ev.Count == 0 || rounds < ev.Count {
+			env.Schedule(env.Now()+ev.Period, round)
+		}
+	}
+	env.Schedule(ev.At+ev.Period, round)
+}
+
+func (p *Program) applyTrace(env Env, ev *Event) {
+	links := resolveLinkSet(ev.Links, env, ev.Stream)
+	topo := env.Topo()
+	tr := ev.Trace
+	var base []float64
+	if ev.Mode == "scale" {
+		base = links.snapshot(topo)
+	}
+	scaled := make([]float64, links.size())
+	refs := links.refs()
+	apply := func(v float64) {
+		if ev.Mode == "scale" {
+			for i := range base {
+				scaled[i] = base[i] * v * ev.Scale
+			}
+			links.setEach(topo, scaled)
+		} else {
+			links.setAll(topo, netem.Kbps(v*ev.Scale))
+		}
+		env.LinksChanged(refs)
+	}
+	var fire func(i int, cycleStart float64)
+	fire = func(i int, cycleStart float64) {
+		apply(tr.Values[i])
+		if i+1 < len(tr.Times) {
+			env.Schedule(cycleStart+ev.Stretch*tr.Times[i+1], func() { fire(i+1, cycleStart) })
+		} else if ev.Loop {
+			next := cycleStart + ev.Stretch*tr.Duration
+			env.Schedule(next, func() { fire(0, next) })
+		}
+	}
+	env.Schedule(ev.At, func() { fire(0, ev.At) })
+}
+
+func (p *Program) applyOutage(env Env, ev *Event) {
+	rng := env.Stream(ev.Stream)
+	links := resolveLinkSet(ev.Links, env, ev.Stream)
+	topo := env.Topo()
+	downBW := netem.Kbps(ev.DownKbps)
+	refs := links.refs()
+	up := Dist{Kind: "exp", Mean: ev.MeanUp}
+	down := Dist{Kind: "exp", Mean: ev.MeanDown}
+	// Recovery restores the bandwidth each link had when the outage began,
+	// not a t=0 snapshot, so outages compose with degrade/trace mutations
+	// on overlapping links instead of silently undoing them.
+	var restore []float64
+	var goDown, goUp func()
+	goDown = func() {
+		restore = links.snapshot(topo)
+		links.setAll(topo, downBW)
+		env.LinksChanged(refs)
+		env.Schedule(env.Now()+down.Sample(rng), goUp)
+	}
+	goUp = func() {
+		links.setEach(topo, restore)
+		env.LinksChanged(refs)
+		env.Schedule(env.Now()+up.Sample(rng), goDown)
+	}
+	env.Schedule(ev.At+up.Sample(rng), goDown)
+}
+
+func (p *Program) applyChurn(env Env, ev *Event) {
+	rng := env.Stream(ev.Stream)
+	exempt := make(map[netem.NodeID]bool)
+	for _, s := range env.Sources() {
+		exempt[s] = true
+	}
+	var candidates []netem.NodeID
+	for _, m := range env.Members() {
+		if !exempt[m] {
+			candidates = append(candidates, m)
+		}
+	}
+	k := frcount(len(candidates), ev.Frac)
+	for _, ci := range rng.SampleInts(len(candidates), k) {
+		id := candidates[ci]
+		life := ev.Lifetime.Sample(rng)
+		env.Schedule(ev.At+life, func() { env.Fail(id) })
+	}
+}
+
+// Timeline renders the compiled schedule for humans: one line per event,
+// sorted by first activation, deterministic parts with concrete times and
+// stochastic parts with their process parameters. `bulletctl scenario lint`
+// prints it.
+func (p *Program) Timeline() string {
+	type entry struct {
+		at   float64
+		line string
+	}
+	var entries []entry
+	add := func(at float64, format string, args ...any) {
+		entries = append(entries, entry{at, fmt.Sprintf("t=%8.2fs  %s", at, fmt.Sprintf(format, args...))})
+	}
+	for _, ev := range p.events {
+		switch ev.Kind {
+		case KindSetBW:
+			if ev.Period > 0 {
+				every := "forever"
+				if ev.Count > 0 {
+					every = fmt.Sprintf("%d times", ev.Count)
+				}
+				add(ev.At, "set %s to %.0f Kbps, every %.1fs %s", ev.Links, ev.BWKbps, ev.Period, every)
+			} else {
+				add(ev.At, "set %s to %.0f Kbps", ev.Links, ev.BWKbps)
+			}
+		case KindScaleBW:
+			suffix := ""
+			if ev.Period > 0 {
+				every := "forever"
+				if ev.Count > 0 {
+					every = fmt.Sprintf("%d times", ev.Count)
+				}
+				suffix = fmt.Sprintf(", every %.1fs %s", ev.Period, every)
+			}
+			if ev.Floor > 0 {
+				suffix += fmt.Sprintf(", floor %.3g× original", ev.Floor)
+			}
+			add(ev.At, "scale %s by %.3g%s", ev.Links, ev.Factor, suffix)
+		case KindDegrade:
+			every := "forever"
+			if ev.Count > 0 {
+				every = fmt.Sprintf("%d rounds", ev.Count)
+			}
+			add(ev.At+ev.Period,
+				"degrade: every %.1fs %s, %.0f%% victims × %.0f%% sources, ×%.3g cumulative, floor %.3g (stream %q)",
+				ev.Period, every, ev.VictimFrac*100, ev.SourceFrac*100, ev.Factor, ev.Floor, ev.Stream)
+		case KindTrace:
+			src := "inline trace"
+			if ev.TraceFile != "" {
+				src = ev.TraceFile
+			}
+			shape := fmt.Sprintf("%d points", len(ev.Trace.Times))
+			if ev.Loop {
+				shape += fmt.Sprintf(", looping every %.1fs", ev.Stretch*ev.Trace.Duration)
+			}
+			mode := "Kbps"
+			if ev.Mode == "scale" {
+				mode = "× original"
+			}
+			add(ev.At, "replay %s (%s) onto %s as %s, stretch %.3g, scale %.3g",
+				src, shape, ev.Links, mode, ev.Stretch, ev.Scale)
+		case KindOutage:
+			add(ev.At, "outage on %s: up ~Exp(%.1fs), down ~Exp(%.1fs) at %.0f Kbps (stream %q)",
+				ev.Links, ev.MeanUp, ev.MeanDown, ev.DownKbps, ev.Stream)
+		case KindChurn:
+			add(ev.At, "churn: %.0f%% of non-source members fail after %s lifetimes (stream %q)",
+				ev.Frac*100, ev.Lifetime, ev.Stream)
+		case KindFail:
+			add(ev.At, "fail nodes %v", ev.Nodes)
+		case KindFlashCrowd:
+			counts := ""
+			if len(ev.Waves[0].Nodes) == 0 {
+				cs := waveCounts(ev.Waves, p.n)
+				cs[0]++ // the origin
+				counts = fmt.Sprintf(" (cohort sizes %v at n=%d)", cs, p.n)
+			}
+			for i, w := range ev.Waves {
+				size := fmt.Sprintf("%.0f%% of members", w.Frac*100)
+				if len(w.Nodes) > 0 {
+					size = fmt.Sprintf("%d explicit nodes", len(w.Nodes))
+				} else if i == len(ev.Waves)-1 && w.Frac == 0 {
+					size = "the remainder"
+				}
+				add(w.At, "flash-crowd wave %d: session over %s%s", i, size, counts)
+				counts = ""
+			}
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].at < entries[j].at })
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q compiled for %d nodes, %d events\n", p.name, p.n, len(p.events))
+	if p.notes != "" {
+		fmt.Fprintf(&b, "  %s\n", p.notes)
+	}
+	for _, e := range entries {
+		b.WriteString("  " + e.line + "\n")
+	}
+	return b.String()
+}

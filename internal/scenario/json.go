@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Parse decodes a JSON scenario document. Unknown fields are rejected so a
+// typo'd event key fails loudly instead of silently doing nothing. Events
+// with a trace_file are left unresolved — use LoadFile for that, or attach
+// the Trace yourself before Compile.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario: missing name")
+	}
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("scenario %q: no events", s.Name)
+	}
+	return &s, nil
+}
+
+// LoadFile reads a JSON scenario from disk and resolves every trace_file
+// reference relative to the scenario file's directory.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if ev.TraceFile == "" || ev.Trace != nil {
+			continue
+		}
+		tr, err := LoadTraceFile(filepath.Join(dir, ev.TraceFile))
+		if err != nil {
+			return nil, fmt.Errorf("%s event %d: %w", path, i, err)
+		}
+		ev.Trace = tr
+	}
+	return s, nil
+}

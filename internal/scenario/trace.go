@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Trace is a piecewise-constant bandwidth time series: Values[i] holds from
+// Times[i] until Times[i+1] (the last value holds until Duration when
+// looping, or forever otherwise). Values are Kbps in "set" mode and unitless
+// multipliers in "scale" mode; times are seconds.
+type Trace struct {
+	Times    []float64 `json:"times"`
+	Values   []float64 `json:"values"`
+	Duration float64   `json:"duration,omitempty"`
+}
+
+func (tr *Trace) validate(loop bool) error {
+	if len(tr.Times) == 0 || len(tr.Times) != len(tr.Values) {
+		return fmt.Errorf("trace needs equal, non-empty times and values (got %d/%d)",
+			len(tr.Times), len(tr.Values))
+	}
+	if tr.Times[0] != 0 {
+		return fmt.Errorf("trace must start at t=0, got %v", tr.Times[0])
+	}
+	for i := 1; i < len(tr.Times); i++ {
+		if tr.Times[i] <= tr.Times[i-1] {
+			return fmt.Errorf("trace times must increase: t[%d]=%v after t[%d]=%v",
+				i, tr.Times[i], i-1, tr.Times[i-1])
+		}
+	}
+	for i, v := range tr.Values {
+		if v <= 0 {
+			return fmt.Errorf("trace value %d is %v; must be positive (the emulator treats 0 bandwidth as unlimited)", i, v)
+		}
+	}
+	last := tr.Times[len(tr.Times)-1]
+	if loop && tr.Duration <= last {
+		return fmt.Errorf("looping trace needs duration > last point time (%v > %v)", tr.Duration, last)
+	}
+	return nil
+}
+
+// ParseTrace reads the bundled trace format: one "time value" pair per line,
+// '#' comments, and an optional "duration <seconds>" directive that sets the
+// loop period (required for looping replay).
+//
+//	# residential DSL downlink, evening congestion (kbps)
+//	duration 120
+//	0   2000
+//	15  1400
+//	...
+func ParseTrace(text string) (*Trace, error) {
+	tr := &Trace{}
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "duration" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace line %d: duration needs one value", ln+1)
+			}
+			d, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: %v", ln+1, err)
+			}
+			tr.Duration = d
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace line %d: want \"time value\", got %q", ln+1, line)
+		}
+		t, err1 := strconv.ParseFloat(fields[0], 64)
+		v, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("trace line %d: non-numeric field in %q", ln+1, line)
+		}
+		tr.Times = append(tr.Times, t)
+		tr.Values = append(tr.Values, v)
+	}
+	if len(tr.Times) == 0 {
+		return nil, fmt.Errorf("trace has no data points")
+	}
+	return tr, nil
+}
+
+// LoadTraceFile reads and parses one trace file.
+func LoadTraceFile(path string) (*Trace, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	tr, err := ParseTrace(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return tr, nil
+}
