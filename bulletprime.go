@@ -6,32 +6,50 @@
 // §2.2, and a deterministic flow-level network emulator standing in for
 // ModelNet.
 //
-// This file is the public façade: a downstream user can run a complete
-// dissemination experiment — topology, dynamics, protocol, measurement —
-// through RunConfig/Run without touching the internal packages.
+// This file is the public façade. The unit of work is an experiment
+// session: New validates a RunConfig into an Experiment handle, Subscribe
+// attaches live metric observers (per-node block progress, instantaneous
+// goodput, control overhead, scenario-event annotations), and Start/Wait —
+// or the one-call Run method — execute it under a context, which can cancel
+// the run mid-flight and still return the partial time-series.
 //
-//	res, err := bulletprime.Run(bulletprime.RunConfig{
+//	exp, err := bulletprime.New(bulletprime.RunConfig{
 //	    Protocol:  bulletprime.ProtocolBulletPrime,
 //	    Nodes:     50,
 //	    FileBytes: 20 << 20,
 //	    Network:   bulletprime.NetworkModelNet,
 //	    Seed:      1,
 //	})
+//	if err != nil { ... }
+//	obs, _ := exp.Subscribe(bulletprime.ObserverConfig{Every: 5})
+//	go func() {
+//	    for s := range obs.Samples() {
+//	        fmt.Printf("t=%.0fs %d/%d done, %.1f Mbps\n",
+//	            s.Time, s.Completed, s.Receivers, s.GoodputBps*8/1e6)
+//	    }
+//	}()
+//	res, err := exp.Run(ctx) // == Start(ctx) + Wait()
+//
+// Protocols and network presets are open registries (RegisterProtocol,
+// RegisterNetwork): the paper's four systems and six environments
+// self-register, and downstream packages can plug in their own without
+// touching internal switches. The one-shot Run and Sweep functions remain
+// as thin compatibility wrappers over sessions and produce bit-identical
+// results for equal seeds.
 //
 // The cmd/bulletctl tool regenerates every figure of the paper's
-// evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// measured results.
+// evaluation; see DESIGN.md for the experiment index (§6 documents the
+// session API) and EXPERIMENTS.md for measured results.
 package bulletprime
 
 import (
 	"fmt"
-	"sort"
 
 	"bulletprime/internal/core"
 	"bulletprime/internal/harness"
-	"bulletprime/internal/netem"
 	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
+	"bulletprime/internal/trace"
 )
 
 // Scenario is a declarative experiment schedule: link dynamics, trace
@@ -43,12 +61,13 @@ type Scenario = scenario.Scenario
 
 // LoadScenario reads a JSON scenario file, resolving trace_file references
 // relative to the scenario file's directory. Validation against a concrete
-// overlay size happens in Run/Sweep (or scenario.Scenario.Compile).
+// overlay size happens in New/Run/Sweep (or scenario.Scenario.Compile).
 func LoadScenario(path string) (*Scenario, error) {
 	return scenario.LoadFile(path)
 }
 
-// Protocol selects the dissemination system for a run.
+// Protocol selects the dissemination system for a run, resolved through
+// the open protocol registry (see RegisterProtocol).
 type Protocol string
 
 // The four systems evaluated by the paper.
@@ -59,7 +78,8 @@ const (
 	ProtocolSplitStream Protocol = "splitstream"
 )
 
-// NetworkPreset selects one of the paper's emulated environments.
+// NetworkPreset selects an emulated environment, resolved through the open
+// network registry (see RegisterNetwork).
 type NetworkPreset string
 
 // Presets matching the paper's experiment environments (§4.1, §4.4, §4.5,
@@ -96,14 +116,16 @@ const (
 
 // RunConfig describes one dissemination experiment.
 type RunConfig struct {
-	// Protocol defaults to ProtocolBulletPrime.
+	// Protocol defaults to ProtocolBulletPrime; any registered protocol
+	// name is accepted.
 	Protocol Protocol
 	// Nodes is the overlay size including the source (minimum 8).
 	Nodes int
 	// FileBytes is the file size; BlockSize defaults to 16 KB.
 	FileBytes float64
 	BlockSize float64
-	// Network defaults to NetworkModelNet.
+	// Network defaults to NetworkModelNet; any registered network name is
+	// accepted.
 	Network NetworkPreset
 	// DynamicBandwidth enables the §4.1 synthetic bandwidth-change
 	// process (20 s period, cumulative halving).
@@ -119,9 +141,17 @@ type RunConfig struct {
 	Seed int64
 	// Deadline bounds simulated time (seconds); default 3600.
 	Deadline float64
-	// Parallel is the worker-pool size used when this config is the base of
-	// a Sweep; 0 means one worker per CPU. A single Run ignores it.
+	// Parallel is the worker-pool size used when this config is the base
+	// of a Sweep; 0 means one worker per CPU, negative is rejected. A
+	// single run ignores it.
 	Parallel int
+	// SampleEvery is the session time-series cadence in virtual seconds
+	// (default 1). An Experiment samples Result.Series at this rate — or
+	// finer, when an observer subscribes with a smaller Every. Negative
+	// disables Result.Series entirely (subscribed observers still stream
+	// at their own cadence). The one-shot Run/Sweep wrappers do not
+	// sample.
+	SampleEvery float64
 
 	// Bullet'-specific knobs (ignored by other protocols).
 	Strategy          RequestStrategy // default RarestRandom
@@ -130,48 +160,19 @@ type RunConfig struct {
 	Encoded           bool            // source fountain-coding mode
 }
 
-// Result reports a run's outcome.
-type Result struct {
-	// CompletionTimes maps node id to download completion (seconds of
-	// simulated time); the source is not included.
-	CompletionTimes map[int]float64
-	// Finished reports whether every node completed before the deadline.
-	Finished bool
-	// ControlOverhead is control bytes / total bytes delivered.
-	ControlOverhead float64
-}
-
-// Median returns the median completion time.
-func (r *Result) Median() float64 { return r.quantile(0.5) }
-
-// Worst returns the slowest node's completion time.
-func (r *Result) Worst() float64 { return r.quantile(1.0) }
-
-// Best returns the fastest node's completion time.
-func (r *Result) Best() float64 { return r.quantile(0.0) }
-
-func (r *Result) quantile(q float64) float64 {
-	if len(r.CompletionTimes) == 0 {
-		return 0
-	}
-	xs := make([]float64, 0, len(r.CompletionTimes))
-	for _, t := range r.CompletionTimes {
-		xs = append(xs, t)
-	}
-	sort.Float64s(xs)
-	i := int(q*float64(len(xs)-1) + 0.5)
-	return xs[i]
-}
-
-// buildSpec validates and normalizes a RunConfig into a harness spec; Run
-// and Sweep share it so a sweep's rigs are bit-identical to single runs.
-func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
-	var spec harness.SweepSpec
+// normalized is the single place RunConfig defaults and seed-independent
+// validation live: every entry point (New, Run, Sweep cells) goes through
+// it, so a misconfiguration fails the same way everywhere instead of being
+// silently ignored by some paths.
+func (cfg RunConfig) normalized() (RunConfig, error) {
 	if cfg.Nodes < 8 {
-		return spec, fmt.Errorf("bulletprime: need at least 8 nodes, got %d", cfg.Nodes)
+		return cfg, fmt.Errorf("bulletprime: need at least 8 nodes, got %d", cfg.Nodes)
 	}
 	if cfg.FileBytes <= 0 {
-		return spec, fmt.Errorf("bulletprime: FileBytes must be positive")
+		return cfg, fmt.Errorf("bulletprime: FileBytes must be positive")
+	}
+	if cfg.Parallel < 0 {
+		return cfg, fmt.Errorf("bulletprime: Parallel must be >= 0, got %d", cfg.Parallel)
 	}
 	if cfg.Protocol == "" {
 		cfg.Protocol = ProtocolBulletPrime
@@ -185,38 +186,31 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 3600
 	}
-
-	var kind harness.ProtoKind
-	switch cfg.Protocol {
-	case ProtocolBulletPrime:
-		kind = harness.KindBulletPrime
-	case ProtocolBullet:
-		kind = harness.KindBullet
-	case ProtocolBitTorrent:
-		kind = harness.KindBitTorrent
-	case ProtocolSplitStream:
-		kind = harness.KindSplitStream
-	default:
-		return spec, fmt.Errorf("bulletprime: unknown protocol %q", cfg.Protocol)
+	switch {
+	case cfg.SampleEvery == 0:
+		cfg.SampleEvery = 1
+	case cfg.SampleEvery < 0:
+		cfg.SampleEvery = -1 // canonical "series disabled"
 	}
-
-	var topoFn func(*sim.RNG) *netem.Topology
-	switch cfg.Network {
-	case NetworkModelNet:
-		topoFn = harness.ModelNetTopology(cfg.Nodes)
-	case NetworkModelNetClean:
-		topoFn = harness.LosslessModelNetTopology(cfg.Nodes)
-	case NetworkConstrained:
-		topoFn = harness.ConstrainedAccessTopology(cfg.Nodes)
-	case NetworkHighBDP:
-		topoFn = harness.HighBDPTopology(cfg.Nodes, 0, 0)
-	case NetworkPlanetLab:
-		topoFn = harness.PlanetLabTopology(cfg.Nodes)
-	case NetworkClustered:
-		topoFn = harness.ClusteredTopology(cfg.Nodes, 0)
-	default:
-		return spec, fmt.Errorf("bulletprime: unknown network preset %q", cfg.Network)
+	if _, ok := lookupProtocol(cfg.Protocol); !ok {
+		return cfg, fmt.Errorf("bulletprime: unknown protocol %q (registered: %v)",
+			cfg.Protocol, Protocols())
 	}
+	if _, ok := lookupNetwork(cfg.Network); !ok {
+		return cfg, fmt.Errorf("bulletprime: unknown network preset %q (registered: %v)",
+			cfg.Network, Networks())
+	}
+	return cfg, nil
+}
+
+// buildSpec lowers a normalized RunConfig into a harness spec; every
+// session and sweep cell shares it, so a sweep's rigs are bit-identical to
+// single runs.
+func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
+	var spec harness.SweepSpec
+	systemName, _ := lookupProtocol(cfg.Protocol)
+	netBuild, _ := lookupNetwork(cfg.Network)
+	topoFn := netBuild(cfg.Nodes)
 
 	var dyn func(*harness.Rig)
 	if cfg.DynamicBandwidth {
@@ -244,7 +238,7 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		Seed:     cfg.Seed,
 		TopoFn:   topoFn,
 		Dynamics: dyn,
-		Kind:     kind,
+		System:   systemName,
 		Workload: harness.Workload{FileBytes: cfg.FileBytes, BlockSize: cfg.BlockSize},
 		CoreMut:  coreMut,
 		Deadline: sim.Time(cfg.Deadline),
@@ -252,96 +246,153 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 	}, nil
 }
 
+// Annotation is a timestamped timeline marker: a scenario event firing, a
+// flash-crowd wave starting, a node failing.
+type Annotation struct {
+	// At is the virtual time of the event in seconds.
+	At float64
+	// Text is the human-readable event description.
+	Text string
+}
+
+// NodeProgress is one node's download state at a sample instant.
+type NodeProgress struct {
+	// Node is the topology address (the source holds everything and never
+	// appears in CompletionTimes).
+	Node int
+	// Blocks is the number of distinct blocks the node holds.
+	Blocks int
+	// Bps is the node's delivered incoming byte rate over the last sample
+	// window (wire bytes, control included).
+	Bps float64
+	// Done reports the node finished its download.
+	Done bool
+}
+
+// Sample is one tick of an experiment's metric stream.
+type Sample struct {
+	// Time is the virtual clock in seconds.
+	Time float64
+	// Completed counts receivers that have finished; Receivers is the
+	// total expected (session sources excluded).
+	Completed int
+	Receivers int
+	// GoodputBps is the overlay's instantaneous aggregate delivered data
+	// rate in bytes per second, measured over the last sample window.
+	GoodputBps float64
+	// ControlBytes and DataBytes are cumulative delivered wire bytes.
+	ControlBytes float64
+	DataBytes    float64
+	// DuplicateBlocks counts blocks delivered to nodes that already held
+	// them; DuplicateBytes ≈ DuplicateBlocks × BlockSize, and UsefulBytes
+	// is DataBytes minus that waste.
+	DuplicateBlocks int
+	DuplicateBytes  float64
+	UsefulBytes     float64
+	// Nodes holds per-node progress, only on streams subscribed with
+	// ObserverConfig.PerNode (Result.Series omits it).
+	Nodes []NodeProgress
+	// Annotations lists the scenario events that fired since the previous
+	// sample.
+	Annotations []Annotation
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// CompletionTimes maps node id to download completion (seconds of
+	// simulated time); session sources are not included.
+	CompletionTimes map[int]float64
+	// Finished reports whether every node completed before the deadline.
+	Finished bool
+	// Cancelled reports the run was stopped early through its context;
+	// CompletionTimes and Series then hold the partial state observed up
+	// to the stop.
+	Cancelled bool
+	// Elapsed is the virtual time at which the run ended.
+	Elapsed float64
+	// ControlOverhead is control bytes / total bytes delivered.
+	ControlOverhead float64
+	// Series is the sampled time-series of an observed session run, in
+	// time order; nil for the one-shot Run/Sweep wrappers.
+	Series []Sample
+	// Annotations lists every scenario-event marker observed during a
+	// session run, in time order.
+	Annotations []Annotation
+
+	cdf *trace.CDF
+}
+
+// dist returns the completion-time distribution. Library-returned Results
+// carry it pre-built and pre-sorted (see toResult), so concurrent quantile
+// reads are safe; a Result assembled by hand gets it lazily from
+// CompletionTimes on the first quantile call, which must not race.
+func (r *Result) dist() *trace.CDF {
+	if r.cdf == nil || r.cdf.N() != len(r.CompletionTimes) {
+		r.cdf = newCDF(r.CompletionTimes)
+	}
+	return r.cdf
+}
+
+// newCDF builds the sorted completion-time distribution. Sorting eagerly
+// (Quantile sorts lazily in place) keeps later concurrent reads race-free.
+func newCDF(times map[int]float64) *trace.CDF {
+	c := &trace.CDF{}
+	for _, t := range times {
+		c.Add(t)
+	}
+	if c.N() > 0 {
+		c.Quantile(0)
+	}
+	return c
+}
+
+// Quantile returns the q-th completion-time quantile (0 <= q <= 1) by
+// nearest-rank, backed by trace.CDF — the same rule every figure and sweep
+// summary uses. An empty result reports 0.
+func (r *Result) Quantile(q float64) float64 {
+	if len(r.CompletionTimes) == 0 {
+		return 0
+	}
+	return r.dist().Quantile(q)
+}
+
+// Median returns the median completion time.
+func (r *Result) Median() float64 { return r.Quantile(0.5) }
+
+// Worst returns the slowest node's completion time.
+func (r *Result) Worst() float64 { return r.Quantile(1.0) }
+
+// Best returns the fastest node's completion time.
+func (r *Result) Best() float64 { return r.Quantile(0.0) }
+
 // toResult converts a harness result to the public form.
 func toResult(res *harness.RunResult) *Result {
 	out := &Result{
 		CompletionTimes: make(map[int]float64, len(res.PerNode)),
 		Finished:        res.Finished,
+		Cancelled:       res.Stopped,
+		Elapsed:         float64(res.EndedAt),
 		ControlOverhead: res.ControlOverhead(),
 	}
 	for id, t := range res.PerNode {
 		out.CompletionTimes[int(id)] = float64(t)
 	}
+	// Pre-build the distribution while single-threaded (its own copy, not
+	// the harness CDF, whose in-place sort callers must not share).
+	out.cdf = newCDF(out.CompletionTimes)
 	return out
 }
 
-// Run executes the experiment and returns per-node results.
+// Run executes the experiment to completion and returns per-node results:
+// the one-shot compatibility wrapper over an unobserved session. Use New
+// for live observation, cancellation, and the sampled time-series.
 func Run(cfg RunConfig) (*Result, error) {
-	spec, err := buildSpec(cfg)
+	exp, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return toResult(harness.RunSpec(spec)), nil
-}
-
-// SweepConfig describes a parallel experiment sweep: the cross product of
-// Seeds × Protocols × Networks applied to a base configuration. Empty lists
-// default to the base config's single value.
-type SweepConfig struct {
-	// Base supplies everything not varied by the lists below; Base.Parallel
-	// sets the worker-pool size (0 = one worker per CPU).
-	Base      RunConfig
-	Seeds     []int64
-	Protocols []Protocol
-	Networks  []NetworkPreset
-}
-
-// SweepRun is one cell of a sweep's cross product.
-type SweepRun struct {
-	Protocol Protocol
-	Network  NetworkPreset
-	Seed     int64
-	Result   *Result
-}
-
-// Sweep fans the cross product of the config across a worker pool and
-// returns one entry per run, ordered protocol-major, then network, then
-// seed. Every cell is bit-identical to Run with the same single config.
-func Sweep(cfg SweepConfig) ([]SweepRun, error) {
-	seeds := cfg.Seeds
-	if len(seeds) == 0 {
-		seeds = []int64{cfg.Base.Seed}
-	}
-	protocols := cfg.Protocols
-	if len(protocols) == 0 {
-		p := cfg.Base.Protocol
-		if p == "" {
-			p = ProtocolBulletPrime
-		}
-		protocols = []Protocol{p}
-	}
-	networks := cfg.Networks
-	if len(networks) == 0 {
-		nw := cfg.Base.Network
-		if nw == "" {
-			nw = NetworkModelNet
-		}
-		networks = []NetworkPreset{nw}
-	}
-
-	var runs []SweepRun
-	var specs []harness.SweepSpec
-	for _, p := range protocols {
-		for _, nw := range networks {
-			for _, seed := range seeds {
-				rc := cfg.Base
-				rc.Protocol = p
-				rc.Network = nw
-				rc.Seed = seed
-				spec, err := buildSpec(rc)
-				if err != nil {
-					return nil, err
-				}
-				runs = append(runs, SweepRun{Protocol: rc.Protocol, Network: rc.Network, Seed: seed})
-				specs = append(specs, spec)
-			}
-		}
-	}
-	results := harness.Sweep(specs, cfg.Base.Parallel)
-	for i, res := range results {
-		runs[i].Result = toResult(res)
-	}
-	return runs, nil
+	exp.noSample = true
+	return exp.Run(nil)
 }
 
 // RenderFigure regenerates one of the paper's evaluation figures (4-15) at

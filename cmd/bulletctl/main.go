@@ -1,27 +1,35 @@
 // Command bulletctl regenerates any figure of the paper's evaluation
 // section from the reproduced systems, runs single experiments and parallel
-// sweeps, and lints declarative scenario files.
+// sweeps on the session API (with optional live progress), and lints
+// declarative scenario files.
 //
 // Usage:
 //
 //	bulletctl -figure 4            # quick, scaled-down run
 //	bulletctl -figure 5 -scale 1   # full paper scale (100 nodes, 100 MB)
 //	bulletctl -list
-//	bulletctl run -nodes 30 -filemb 10 -scenario rush.json -seed 1
+//	bulletctl run -nodes 30 -filemb 10 -scenario rush.json -seed 1 -progress
 //	bulletctl sweep -nodes 100 -seeds 4 -protocols bulletprime,bittorrent -parallel 8
-//	bulletctl sweep -scenario rush.json -seeds 8
+//	bulletctl sweep -scenario rush.json -seeds 8 -progress
 //	bulletctl scenario lint -nodes 30 rush.json
 //
 // Figure output is gnuplot-style text: a summary table (best/median/p90/
 // worst download times per series) followed by the raw CDF points. Sweep
 // output is one summary row per rig plus a pooled row per protocol×network.
-// Scenario lint validates a JSON scenario and prints its compiled timeline.
+// With -progress, run streams live samples (completions, goodput, scenario
+// events) to stderr and sweep reports each cell as it finishes. Scenario
+// lint validates a JSON scenario and prints its compiled timeline; it
+// exits 0 on success, 1 on a validation error, 2 on usage errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -40,8 +48,7 @@ func main() {
 			runSingle(os.Args[2:])
 			return
 		case "scenario":
-			runScenario(os.Args[2:])
-			return
+			os.Exit(runScenario(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (
@@ -132,24 +139,35 @@ func loadScenarioOrDie(path string) *bulletprime.Scenario {
 	return sc
 }
 
-// runSingle implements the run subcommand: one experiment, optionally under
-// a declarative scenario, with a per-node completion summary.
+// interruptContext returns a context cancelled by the first SIGINT, so a
+// long experiment stops at the next event boundary and still reports its
+// partial results.
+func interruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// runSingle implements the run subcommand on the session API: one
+// experiment, optionally under a declarative scenario, with a per-node
+// completion summary, live -progress streaming, and ctrl-C returning
+// partial results.
 func runSingle(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
 		nodes    = fs.Int("nodes", 30, "overlay size including the source")
 		fileMB   = fs.Float64("filemb", 10, "file size in MB")
-		protocol = fs.String("protocol", "bulletprime", "protocol (bulletprime,bullet,bittorrent,splitstream)")
-		network  = fs.String("network", "modelnet", "network preset")
+		protocol = fs.String("protocol", "bulletprime", "protocol (any registered; see bulletprime.Protocols)")
+		network  = fs.String("network", "modelnet", "network preset (any registered)")
 		scenFile = fs.String("scenario", "", "JSON scenario file to apply")
 		dynamic  = fs.Bool("dynamic", false, "enable the synthetic bandwidth-change process")
 		seed     = fs.Int64("seed", 1, "master random seed")
 		deadline = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
+		progress = fs.Bool("progress", false, "stream live samples to stderr while running")
+		every    = fs.Float64("every", 5, "progress sample cadence in virtual seconds")
 	)
 	fs.Parse(args)
 
 	start := time.Now()
-	res, err := bulletprime.Run(bulletprime.RunConfig{
+	exp, err := bulletprime.New(bulletprime.RunConfig{
 		Protocol:         bulletprime.Protocol(*protocol),
 		Nodes:            *nodes,
 		FileBytes:        *fileMB * 1e6,
@@ -158,61 +176,113 @@ func runSingle(args []string) {
 		Scenario:         loadScenarioOrDie(*scenFile),
 		Seed:             *seed,
 		Deadline:         *deadline,
+		// The CLI prints aggregates and streams -progress through an
+		// observer; it never reads Result.Series.
+		SampleEvery: -1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bulletctl:", err)
 		os.Exit(1)
 	}
+	streamed := make(chan struct{})
+	if *progress {
+		obs, err := exp.Subscribe(bulletprime.ObserverConfig{Every: *every})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bulletctl:", err)
+			os.Exit(1)
+		}
+		go func() {
+			defer close(streamed)
+			for s := range obs.Samples() {
+				fmt.Fprintf(os.Stderr, "t=%7.1fs  %3d/%d done  %8.2f Mbps goodput  %5.2f%% control\n",
+					s.Time, s.Completed, s.Receivers, s.GoodputBps*8/1e6,
+					100*s.ControlBytes/max1(s.ControlBytes+s.DataBytes))
+				for _, a := range s.Annotations {
+					fmt.Fprintf(os.Stderr, "           event @%.1fs: %s\n", a.At, a.Text)
+				}
+			}
+		}()
+	} else {
+		close(streamed)
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	res, err := exp.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+	<-streamed
 	fmt.Printf("%-14s %-12s %6s %10s %10s %10s %9s %11s\n",
 		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished", "completions")
 	fmt.Printf("%-14s %-12s %6d %10.1f %10.1f %10.1f %9v %11d\n",
 		*protocol, *network, *seed, res.Best(), res.Median(), res.Worst(),
 		res.Finished, len(res.CompletionTimes))
+	if res.Cancelled {
+		fmt.Println("run cancelled; results above are partial")
+	}
 	fmt.Fprintf(os.Stderr, "[run, %.1fs wall]\n", time.Since(start).Seconds())
+}
+
+func max1(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return x
 }
 
 // runScenario implements the scenario subcommand; its only verb is lint,
 // which validates a JSON scenario file and prints the compiled timeline.
-func runScenario(args []string) {
+// It returns the process exit code: 0 ok, 1 validation failure, 2 usage.
+func runScenario(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 || args[0] != "lint" {
-		fmt.Fprintln(os.Stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
+		return 2
 	}
-	fs := flag.NewFlagSet("scenario lint", flag.ExitOnError)
+	fs := flag.NewFlagSet("scenario lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	nodes := fs.Int("nodes", 30, "overlay size to validate against")
-	fs.Parse(args[1:])
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
+		return 2
 	}
 	sc, err := bulletprime.LoadScenario(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
 	}
 	prog, err := sc.Compile(*nodes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
 	}
-	fmt.Print(prog.Timeline())
-	fmt.Printf("ok: %s\n", fs.Arg(0))
+	fmt.Fprint(stdout, prog.Timeline())
+	fmt.Fprintf(stdout, "ok: %s\n", fs.Arg(0))
+	return 0
 }
 
 // runSweep implements the sweep subcommand: a seeds × protocols × networks
-// cross product fanned across a worker pool.
+// cross product fanned across a worker pool of sessions. With -progress,
+// each cell is reported on stderr the moment it completes.
 func runSweep(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	var (
 		nodes     = fs.Int("nodes", 100, "overlay size including the source")
 		fileMB    = fs.Float64("filemb", 10, "file size in MB")
 		seeds     = fs.Int("seeds", 4, "number of seeds (1..n)")
-		protocols = fs.String("protocols", "bulletprime", "comma-separated protocols (bulletprime,bullet,bittorrent,splitstream)")
-		networks  = fs.String("networks", "modelnet", "comma-separated network presets")
+		protocols = fs.String("protocols", "bulletprime", "comma-separated protocols (any registered)")
+		networks  = fs.String("networks", "modelnet", "comma-separated network presets (any registered)")
 		dynamic   = fs.Bool("dynamic", false, "enable the synthetic bandwidth-change process")
 		scenFile  = fs.String("scenario", "", "JSON scenario file applied to every cell")
 		parallel  = fs.Int("parallel", 0, "worker-pool size (0 = one per CPU)")
 		deadline  = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
+		progress  = fs.Bool("progress", false, "report each cell on stderr as it completes")
 	)
 	fs.Parse(args)
 
@@ -241,11 +311,43 @@ func runSweep(args []string) {
 	}
 
 	start := time.Now()
-	runs, err := bulletprime.Sweep(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+	var runs []bulletprime.SweepRun
+	total, cancelled := 0, 0
+	if *progress {
+		// The streaming path: per-cell sessions sampled while they run,
+		// reported the moment they finish, SIGINT returning partial results.
+		ctx, stop := interruptContext()
+		defer stop()
+		// The summary tables only need aggregates; no cell subscribes an
+		// observer, so turn per-cell time-series recording off.
+		cfg.Base.SampleEvery = -1
+		ch, err := bulletprime.SweepStream(ctx, cfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bulletctl:", err)
+			os.Exit(1)
+		}
+		for r := range ch {
+			runs = append(runs, r)
+			total++
+			if r.Result.Cancelled {
+				cancelled++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "[%3d done] %-14s %-12s seed %-3d median %8.1fs worst %8.1fs\n",
+				total, r.Protocol, r.Network, r.Seed, r.Result.Median(), r.Result.Worst())
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Index < runs[j].Index })
+	} else {
+		// Unobserved cells skip the sampling hooks entirely.
+		var err error
+		runs, err = bulletprime.Sweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bulletctl:", err)
+			os.Exit(1)
+		}
+		total = len(runs)
 	}
+
 	fmt.Printf("%-14s %-12s %6s %10s %10s %10s %9s\n",
 		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished")
 	type key struct {
@@ -255,6 +357,12 @@ func runSweep(args []string) {
 	pooled := make(map[key][]float64)
 	var order []key
 	for _, r := range runs {
+		if r.Result.Cancelled {
+			// Stopped mid-flight or never started: no completion statistics
+			// to report or pool.
+			fmt.Printf("%-14s %-12s %6d %43s\n", r.Protocol, r.Network, r.Seed, "(cancelled)")
+			continue
+		}
 		fmt.Printf("%-14s %-12s %6d %10.1f %10.1f %10.1f %9v\n",
 			r.Protocol, r.Network, r.Seed,
 			r.Result.Best(), r.Result.Median(), r.Result.Worst(), r.Result.Finished)
@@ -263,6 +371,10 @@ func runSweep(args []string) {
 			order = append(order, k)
 		}
 		pooled[k] = append(pooled[k], r.Result.Median())
+	}
+	if cancelled > 0 {
+		fmt.Printf("%d of %d cells cancelled; pooled statistics cover completed cells only\n",
+			cancelled, total)
 	}
 	fmt.Println()
 	for _, k := range order {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint runs the scenario-lint verb against args and returns its exit code
+// plus captured output.
+func lint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = runScenario(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestScenarioLintExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	doc := `{"name": "lint-me", "events": [
+		{"kind": "set_bw", "at": 5, "links": {"frac": 0.5, "dir": "in"}, "bw_kbps": 500}
+	]}`
+	if err := os.WriteFile(good, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x", "events": [{"kind": "warp"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 0: valid scenario prints the timeline and ok.
+	code, stdout, _ := lint(t, "lint", "-nodes", "20", good)
+	if code != 0 {
+		t.Fatalf("valid scenario: exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "lint-me") || !strings.Contains(stdout, "ok: ") {
+		t.Fatalf("valid scenario output missing timeline/ok: %q", stdout)
+	}
+
+	// 1: missing file.
+	if code, _, stderr := lint(t, "lint", filepath.Join(dir, "absent.json")); code != 1 || stderr == "" {
+		t.Fatalf("missing file: exit %d (stderr %q), want 1 with message", code, stderr)
+	}
+
+	// 1: file that parses but fails validation (unknown event kind).
+	if code, _, _ := lint(t, "lint", bad); code != 1 {
+		t.Fatalf("invalid scenario: exit %d, want 1", code)
+	}
+
+	// 0: explicit help is not a usage error.
+	if code, _, stderr := lint(t, "lint", "-h"); code != 0 || !strings.Contains(stderr, "-nodes") {
+		t.Fatalf("-h: exit %d (stderr %q), want 0 with usage text", code, stderr)
+	}
+
+	// 2: usage errors — wrong verb, no file, extra args.
+	if code, _, _ := lint(t, "fold", good); code != 2 {
+		t.Fatalf("bad verb: exit %d, want 2", code)
+	}
+	if code, _, _ := lint(t, "lint"); code != 2 {
+		t.Fatalf("no file: exit %d, want 2", code)
+	}
+	if code, _, _ := lint(t, "lint", good, bad); code != 2 {
+		t.Fatalf("two files: exit %d, want 2", code)
+	}
+	if code, _, _ := lint(t); code != 2 {
+		t.Fatalf("no verb: exit %d, want 2", code)
+	}
+}

@@ -5,12 +5,15 @@
 // Two environments are tried: the lossy ModelNet mesh (where MORE peers
 // win, because parallel TCP flows mask random loss) and the
 // constrained-access topology (where FEWER peers win, because maximizing
-// TCP flows fight over an 800 Kbps uplink).
+// TCP flows fight over an 800 Kbps uplink). Each trial is one experiment
+// session run under a shared context, so ctrl-C-style cancellation of the
+// whole comparison needs only one cancel call.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	type env struct {
 		name    string
 		network bulletprime.NetworkPreset
@@ -35,7 +39,7 @@ func main() {
 			if static == 0 {
 				label = "adaptive (ManageSenders)"
 			}
-			res, err := bulletprime.Run(bulletprime.RunConfig{
+			exp, err := bulletprime.New(bulletprime.RunConfig{
 				Protocol:    bulletprime.ProtocolBulletPrime,
 				Nodes:       30,
 				FileBytes:   e.file,
@@ -44,6 +48,10 @@ func main() {
 				Seed:        11,
 				Deadline:    7200,
 			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := exp.Run(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}

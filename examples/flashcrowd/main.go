@@ -1,14 +1,17 @@
 // Flashcrowd: the paper's headline comparison in miniature, driven by the
-// declarative scenario engine. A popular file appears at one origin and the
-// crowd arrives in two waves — half the nodes immediately, the rest 60 s
-// later — while a DSL-shaped bandwidth trace replays over part of the core
-// and a slice of the crowd churns away mid-download. The same emulated
-// network (identical topology seed) is used for all four systems.
+// declarative scenario engine through the session API. A popular file
+// appears at one origin and the crowd arrives in two waves — half the
+// nodes immediately, the rest 60 s later — while a DSL-shaped bandwidth
+// trace replays over part of the core and a slice of the crowd churns away
+// mid-download. The same emulated network (identical topology seed) is
+// used for all four systems, and each run's scenario events come back as
+// timestamped annotations on the result.
 //
 //	go run ./examples/flashcrowd
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,6 +51,7 @@ func main() {
 		scenario.Churn(15, 0.1, scenario.Dist{Kind: "exp", Mean: 90}),
 	)
 
+	ctx := context.Background()
 	for _, dynamic := range []bool{false, true} {
 		label := "calm network (random losses only)"
 		sc := (*bulletprime.Scenario)(nil)
@@ -57,8 +61,9 @@ func main() {
 		}
 		fmt.Printf("\n=== flash crowd, %d nodes, 10 MB, %s ===\n", nodes, label)
 		fmt.Printf("%-14s %10s %10s %10s %12s\n", "system", "median(s)", "p90(s)", "worst(s)", "completions")
+		var annotated *bulletprime.Result
 		for _, p := range protocols {
-			res, err := bulletprime.Run(bulletprime.RunConfig{
+			exp, err := bulletprime.New(bulletprime.RunConfig{
 				Protocol:  p,
 				Nodes:     nodes,
 				FileBytes: file,
@@ -70,34 +75,34 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			res, err := exp.Run(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
 			status := ""
 			if !res.Finished {
 				status = "  (INCOMPLETE)"
 			}
 			fmt.Printf("%-14s %10.1f %10.1f %10.1f %12d%s\n",
-				p, res.Median(), quant(res, 0.9), res.Worst(), len(res.CompletionTimes), status)
+				p, res.Median(), res.Quantile(0.9), res.Worst(), len(res.CompletionTimes), status)
+			if p == bulletprime.ProtocolBulletPrime {
+				annotated = res
+			}
+		}
+		if dynamic && annotated != nil {
+			fmt.Printf("\nscenario timeline as observed by the Bullet' run (%d events):\n",
+				len(annotated.Annotations))
+			for i, a := range annotated.Annotations {
+				if i == 6 {
+					fmt.Printf("  ... %d more\n", len(annotated.Annotations)-i)
+					break
+				}
+				fmt.Printf("  t=%6.1fs  %s\n", a.At, a.Text)
+			}
 		}
 	}
 	fmt.Println("\nNote: under the scenario, churned nodes never finish (the run reports")
 	fmt.Println("INCOMPLETE) and wave-1 nodes cannot complete before t=60. Lint any")
 	fmt.Println("scenario file with: go run ./cmd/bulletctl scenario lint -nodes 30 file.json")
 	fmt.Println("Reproduce the paper's figures with: go run ./cmd/bulletctl -figure 4 -scale 1")
-}
-
-func quant(r *bulletprime.Result, q float64) float64 {
-	times := make([]float64, 0, len(r.CompletionTimes))
-	for _, t := range r.CompletionTimes {
-		times = append(times, t)
-	}
-	if len(times) == 0 {
-		return 0
-	}
-	// insertion sort (tiny slice)
-	for i := 1; i < len(times); i++ {
-		for j := i; j > 0 && times[j] < times[j-1]; j-- {
-			times[j], times[j-1] = times[j-1], times[j]
-		}
-	}
-	i := int(q * float64(len(times)-1))
-	return times[i]
 }

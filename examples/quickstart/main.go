@@ -1,11 +1,12 @@
 // Quickstart: distribute a 5 MB file from one source to 19 receivers over
-// the paper's emulated ModelNet environment with Bullet', and print the
-// completion-time spread.
+// the paper's emulated ModelNet environment with Bullet', watching live
+// progress through the session API, and print the completion-time spread.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,7 @@ import (
 )
 
 func main() {
-	res, err := bulletprime.Run(bulletprime.RunConfig{
+	exp, err := bulletprime.New(bulletprime.RunConfig{
 		Protocol:  bulletprime.ProtocolBulletPrime,
 		Nodes:     20,
 		FileBytes: 5 << 20, // 5 MB
@@ -23,6 +24,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Subscribe before Start; the stream closes when the run ends.
+	obs, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range obs.Samples() {
+			fmt.Printf("  t=%4.0fs  %2d/%d receivers done, %6.2f Mbps aggregate goodput\n",
+				s.Time, s.Completed, s.Receivers, s.GoodputBps*8/1e6)
+		}
+	}()
+
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
 	if !res.Finished {
 		log.Fatal("distribution did not finish before the deadline")
 	}
@@ -31,4 +52,5 @@ func main() {
 	fmt.Printf("  median node  : %6.1f s\n", res.Median())
 	fmt.Printf("  slowest node : %6.1f s\n", res.Worst())
 	fmt.Printf("  control overhead: %.2f%% of delivered bytes\n", res.ControlOverhead*100)
+	fmt.Printf("  time-series: %d samples in res.Series\n", len(res.Series))
 }

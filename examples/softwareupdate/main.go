@@ -10,18 +10,22 @@
 //
 //  3. verifies the bundle reproduces v2 exactly when applied to v1,
 //
-//  4. simulates disseminating the bundle with Bullet' versus staggered
-//     parallel rsync from the central server, printing the speedup.
+//  4. simulates disseminating the bundle three ways on the same
+//     PlanetLab-like topology: Shotgun, a Bullet' mesh session through the
+//     public façade, and staggered parallel rsync from the central server,
+//     printing the speedups.
 //
 //     go run ./examples/softwareupdate
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"bulletprime"
 	"bulletprime/internal/harness"
 	"bulletprime/internal/shotgun"
 	"bulletprime/internal/sim"
@@ -74,8 +78,8 @@ func main() {
 	}
 	fmt.Println("bundle verified: applying v1+delta reproduces v2 bit-for-bit")
 
-	// 4. Dissemination: Shotgun vs staggered parallel rsync, on the same
-	// PlanetLab-like 40-node topology.
+	// 4. Dissemination: Shotgun vs a Bullet' session vs staggered parallel
+	// rsync, on the same PlanetLab-like 40-node topology.
 	const nodes = 40
 	bundleBytes := float64(bundle.WireSize())
 
@@ -87,6 +91,24 @@ func main() {
 	fmt.Printf("\n%-24s %12s %12s\n", "method", "median(s)", "worst(s)")
 	sgT := sg.Times(true)
 	fmt.Printf("%-24s %12.1f %12.1f\n", "shotgun (dl+update)", sgT[len(sgT)/2], sgT[len(sgT)-1])
+
+	// The same bundle through the public session API: a Bullet' mesh on
+	// the registered planetlab preset.
+	exp, err := bulletprime.New(bulletprime.RunConfig{
+		Protocol:  bulletprime.ProtocolBulletPrime,
+		Nodes:     nodes,
+		FileBytes: bundleBytes,
+		Network:   bulletprime.NetworkPlanetLab,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bp, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s %12.1f %12.1f\n", "bullet' mesh (session)", bp.Median(), bp.Worst())
 
 	var rsyncWorst float64
 	for _, parallel := range []int{4, 16} {

@@ -1,0 +1,579 @@
+package bulletprime
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bulletprime/internal/harness"
+	"bulletprime/internal/netem"
+	"bulletprime/internal/trace"
+)
+
+// Experiment is one dissemination experiment session: a validated
+// configuration plus the machinery to observe and steer its run. New
+// builds it, Subscribe attaches metric streams, Start launches the run
+// under a context (cancel the context — or call Stop — to end it early
+// with partial results), and Wait returns the Result. Run bundles
+// Start+Wait.
+//
+// An Experiment runs exactly once; results are bit-identical to the
+// one-shot Run wrapper for the same RunConfig, observed or not, because
+// observation hooks only read simulation state.
+type Experiment struct {
+	cfg       RunConfig // normalized
+	spec      harness.SweepSpec
+	receivers int
+
+	mu        sync.Mutex
+	observers []*Observer
+	started   bool
+	cancel    context.CancelFunc
+	// noSample suppresses the default time-series sampling; the Run/Sweep
+	// compatibility wrappers set it so an unobserved wrapper run carries
+	// no hooks at all.
+	noSample bool
+
+	done chan struct{}
+	res  *Result
+}
+
+// New validates cfg (defaults filled, registries consulted, the scenario
+// compiled against the overlay size) and returns an unstarted session.
+func New(cfg RunConfig) (*Experiment, error) {
+	norm, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := buildSpec(norm)
+	if err != nil {
+		return nil, err
+	}
+	receivers := norm.Nodes - 1
+	if spec.Scenario != nil {
+		// Every flash-crowd wave has its own session source, which never
+		// counts as a receiver.
+		if waves := spec.Scenario.Waves(); waves != nil {
+			receivers = norm.Nodes - len(waves)
+		}
+	}
+	return &Experiment{
+		cfg:       norm,
+		spec:      spec,
+		receivers: receivers,
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Config returns the normalized configuration the session will run.
+func (e *Experiment) Config() RunConfig { return e.cfg }
+
+// ObserverConfig parameterizes one metric stream.
+type ObserverConfig struct {
+	// Every is the stream's cadence in virtual seconds; it defaults to
+	// the session's SampleEvery and may be finer (which also refines
+	// Result.Series).
+	Every float64
+	// Buffer is the stream's channel capacity (default 64). A consumer
+	// that falls behind loses the oldest buffered samples — the stream
+	// never stalls the simulation.
+	Buffer int
+	// PerNode includes per-node progress (blocks held, incoming rate,
+	// done) in every streamed sample.
+	PerNode bool
+}
+
+// Observer is one live metric stream over an experiment's run.
+type Observer struct {
+	every    float64
+	perNode  bool
+	ch       chan Sample
+	lastEmit float64
+	dropped  atomic.Int64
+}
+
+// Samples returns the stream; it is closed when the run ends, making
+// `for s := range obs.Samples()` the canonical consumption loop.
+func (o *Observer) Samples() <-chan Sample { return o.ch }
+
+// Dropped counts samples discarded because the consumer fell behind.
+func (o *Observer) Dropped() int64 { return o.dropped.Load() }
+
+// send delivers without ever blocking the simulation: a full buffer drops
+// its oldest sample to make room for the newest.
+func (o *Observer) send(s Sample) {
+	select {
+	case o.ch <- s:
+		return
+	default:
+	}
+	select {
+	case <-o.ch:
+		o.dropped.Add(1)
+	default:
+	}
+	// Only this goroutine ever sends, and the receive above (or a consumer
+	// draining concurrently) freed a slot, so this cannot block.
+	o.ch <- s
+}
+
+// Subscribe attaches a metric stream to the session. It must be called
+// before Start.
+func (e *Experiment) Subscribe(oc ObserverConfig) (*Observer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return nil, fmt.Errorf("bulletprime: Subscribe after Start")
+	}
+	if oc.Every < 0 {
+		return nil, fmt.Errorf("bulletprime: observer Every must be >= 0, got %v", oc.Every)
+	}
+	every := oc.Every
+	if every == 0 {
+		every = e.cfg.SampleEvery
+		if every <= 0 { // series sampling disabled; streams default to 1 s
+			every = 1
+		}
+	}
+	buffer := oc.Buffer
+	if buffer <= 0 {
+		buffer = 64
+	}
+	o := &Observer{every: every, perNode: oc.PerNode, ch: make(chan Sample, buffer)}
+	e.observers = append(e.observers, o)
+	return o, nil
+}
+
+// Start launches the run in the background. A nil ctx means Background;
+// cancelling the context stops the run at the next event boundary, and
+// Wait then returns the partial Result with Cancelled set. Starting twice
+// is an error.
+func (e *Experiment) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("bulletprime: experiment already started")
+	}
+	e.started = true
+	runCtx, cancel := context.WithCancel(ctx)
+	e.cancel = cancel
+	go e.run(runCtx)
+	return nil
+}
+
+// Stop requests early termination, equivalent to cancelling Start's
+// context. It is safe to call at any time after Start.
+func (e *Experiment) Stop() {
+	e.mu.Lock()
+	cancel := e.cancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Done is closed when the run ends (complete, deadline, or cancelled).
+func (e *Experiment) Done() <-chan struct{} { return e.done }
+
+// Wait blocks until the run ends and returns its Result. It is an error
+// to Wait on a session that was never started.
+func (e *Experiment) Wait() (*Result, error) {
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if !started {
+		return nil, fmt.Errorf("bulletprime: Wait before Start")
+	}
+	<-e.done
+	return e.res, nil
+}
+
+// Run is Start followed by Wait.
+func (e *Experiment) Run(ctx context.Context) (*Result, error) {
+	if err := e.Start(ctx); err != nil {
+		return nil, err
+	}
+	return e.Wait()
+}
+
+// run executes the session on its own goroutine: it assembles the harness
+// hooks (sampling ticks, annotation capture, cancellation poll), runs the
+// spec, and publishes the result.
+func (e *Experiment) run(ctx context.Context) {
+	defer e.cancel()
+	spec := e.spec
+	var rec *recorder
+	var hooks harness.Hooks
+	if len(e.observers) > 0 || (!e.noSample && e.cfg.SampleEvery > 0) {
+		rec = newRecorder(e)
+		hooks.OnStart = rec.onStart
+		hooks.TickEvery = rec.every
+		hooks.OnTick = rec.tick
+		hooks.Annotate = rec.annotate
+		if rec.perNode {
+			hooks.OnBlock = rec.onBlock
+		}
+	}
+	// The cancellation poll is always installed: Start wraps every caller
+	// context in a cancellable one, and Stop depends on it.
+	hooks.Stop = func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	spec.Hooks = &hooks
+	hres := harness.RunSpec(spec)
+	res := toResult(hres)
+	if rec != nil && rec.rig != nil {
+		// Flush a closing sample so the series covers the tail (or, for a
+		// cancelled run, the stop instant).
+		if n := len(rec.series); n == 0 || rec.series[n-1].Time < res.Elapsed {
+			rec.tick(rec.rig, rec.sys)
+		}
+		res.Series = rec.series
+		res.Annotations = rec.annotations
+	}
+	e.res = res
+	for _, o := range e.observers {
+		close(o.ch)
+	}
+	close(e.done)
+}
+
+// recorder samples one run's metrics on the simulation's tick hook. All of
+// its methods execute on the run's event loop; observers receive copies
+// over channels.
+type recorder struct {
+	every     float64
+	blockSize float64
+	receivers int
+	observers []*Observer
+	perNode   bool
+	// recordSeries gates Result.Series; false when RunConfig.SampleEvery
+	// is negative and only subscribed streams want samples.
+	recordSeries bool
+
+	rig    *harness.Rig
+	sys    harness.System
+	meter  *trace.RateMeter
+	blocks []int
+
+	pending     []Annotation
+	annotations []Annotation
+	series      []Sample
+}
+
+func newRecorder(e *Experiment) *recorder {
+	every := e.cfg.SampleEvery // negative (series disabled) defers to observers
+	perNode := false
+	for _, o := range e.observers {
+		if every <= 0 || o.every < every {
+			every = o.every
+		}
+		if o.perNode {
+			perNode = true
+		}
+	}
+	rec := &recorder{
+		every:        every,
+		blockSize:    e.cfg.BlockSize,
+		receivers:    e.receivers,
+		observers:    e.observers,
+		perNode:      perNode,
+		recordSeries: e.cfg.SampleEvery > 0,
+		// The goodput meter resolves rates over windows up to ~4 sample
+		// periods at quarter-period granularity.
+		meter: trace.NewRateMeter(every/4, 16),
+	}
+	if perNode {
+		rec.blocks = make([]int, e.cfg.Nodes)
+	}
+	return rec
+}
+
+// onStart installs the goodput meter on the rig's runtime before the
+// protocol starts.
+func (rec *recorder) onStart(rig *harness.Rig, sys harness.System) {
+	rec.rig = rig
+	rec.sys = sys
+	rig.RT.DataMeter = rec.meter
+}
+
+// onBlock tracks per-node block counts (novel arrivals only).
+func (rec *recorder) onBlock(id netem.NodeID, blockID, count int) {
+	if int(id) < len(rec.blocks) {
+		rec.blocks[id] = count
+	}
+}
+
+// annotate timestamps a scenario-event marker and queues it for the next
+// sample.
+func (rec *recorder) annotate(text string) {
+	var at float64
+	if rec.rig != nil {
+		at = float64(rec.rig.Eng.Now())
+	}
+	a := Annotation{At: at, Text: text}
+	rec.pending = append(rec.pending, a)
+	rec.annotations = append(rec.annotations, a)
+}
+
+func (rec *recorder) takePending() []Annotation {
+	if len(rec.pending) == 0 {
+		return nil
+	}
+	p := rec.pending
+	rec.pending = nil
+	return p
+}
+
+// nodeProgress snapshots every member's download state.
+func (rec *recorder) nodeProgress() []NodeProgress {
+	rig := rec.rig
+	now := rig.Eng.Now()
+	out := make([]NodeProgress, 0, len(rig.Members))
+	for _, id := range rig.Members {
+		np := NodeProgress{Node: int(id)}
+		if rec.blocks != nil && int(id) < len(rec.blocks) {
+			np.Blocks = rec.blocks[id]
+		}
+		if n := rig.RT.Node(id); n != nil {
+			np.Bps = n.InMeter.Rate(now, rec.every)
+		}
+		_, np.Done = rig.Done[id]
+		out = append(out, np)
+	}
+	return out
+}
+
+// tick is the sampling clock: it assembles one Sample, appends it to the
+// series, and fans it out to every observer whose cadence is due.
+func (rec *recorder) tick(rig *harness.Rig, sys harness.System) {
+	now := float64(rig.Eng.Now())
+	dup := harness.SystemDuplicates(sys)
+	dupBytes := float64(dup) * rec.blockSize
+	useful := rig.RT.DataBytes - dupBytes
+	if useful < 0 {
+		useful = 0
+	}
+	s := Sample{
+		Time:            now,
+		Completed:       len(rig.Done),
+		Receivers:       rec.receivers,
+		GoodputBps:      rec.meter.Rate(rig.Eng.Now(), rec.every),
+		ControlBytes:    rig.RT.ControlBytes,
+		DataBytes:       rig.RT.DataBytes,
+		DuplicateBlocks: dup,
+		DuplicateBytes:  dupBytes,
+		UsefulBytes:     useful,
+		Annotations:     rec.takePending(),
+	}
+	if rec.recordSeries {
+		rec.series = append(rec.series, s)
+	}
+	var nodes []NodeProgress
+	for _, o := range rec.observers {
+		if now-o.lastEmit < o.every-1e-9 {
+			continue
+		}
+		o.lastEmit = now
+		out := s
+		if o.perNode {
+			if nodes == nil {
+				nodes = rec.nodeProgress()
+			}
+			out.Nodes = nodes
+		}
+		o.send(out)
+	}
+}
+
+// SweepConfig describes a parallel experiment sweep: the cross product of
+// Seeds × Protocols × Networks applied to a base configuration. Empty lists
+// default to the base config's single value.
+type SweepConfig struct {
+	// Base supplies everything not varied by the lists below; Base.Parallel
+	// sets the worker-pool size (0 = one worker per CPU).
+	Base      RunConfig
+	Seeds     []int64
+	Protocols []Protocol
+	Networks  []NetworkPreset
+}
+
+// SweepCell identifies one cell of a sweep's cross product before it runs.
+type SweepCell struct {
+	// Index is the cell's position in protocol-major, then network, then
+	// seed order — the order Sweep returns results in.
+	Index    int
+	Protocol Protocol
+	Network  NetworkPreset
+	Seed     int64
+}
+
+// SweepRun is one completed cell of a sweep.
+type SweepRun struct {
+	Protocol Protocol
+	Network  NetworkPreset
+	Seed     int64
+	// Index is the cell's position in the sweep's deterministic order.
+	Index  int
+	Result *Result
+}
+
+// expandSweep normalizes the base config and builds the cross product in
+// protocol-major, then network, then seed order.
+func expandSweep(cfg SweepConfig) ([]SweepCell, []RunConfig, error) {
+	base, err := cfg.Base.normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = []Protocol{base.Protocol}
+	}
+	networks := cfg.Networks
+	if len(networks) == 0 {
+		networks = []NetworkPreset{base.Network}
+	}
+	var cells []SweepCell
+	var cfgs []RunConfig
+	for _, p := range protocols {
+		for _, nw := range networks {
+			for _, seed := range seeds {
+				rc := base
+				rc.Protocol = p
+				rc.Network = nw
+				rc.Seed = seed
+				cells = append(cells, SweepCell{Index: len(cells), Protocol: p, Network: nw, Seed: seed})
+				cfgs = append(cfgs, rc)
+			}
+		}
+	}
+	return cells, cfgs, nil
+}
+
+// SweepStream runs the sweep as one session per cell over a worker pool
+// and streams each cell's result as it completes (completion order, not
+// index order — use SweepRun.Index to reorder). The observe callback, when
+// non-nil, runs just before each cell starts and may Subscribe to the
+// cell's session for live per-cell progress; it is invoked concurrently
+// from up to Parallel worker goroutines, so callbacks touching shared
+// state must synchronize. Cancelling ctx stops running
+// cells mid-flight and skips the runs of unstarted ones; every cell still
+// emits exactly one SweepRun (stopped and skipped cells carry
+// Result.Cancelled), so the consumer MUST drain the channel until it
+// closes. Every completed cell is bit-identical to Run with the same
+// single config.
+func SweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *Experiment)) (<-chan SweepRun, error) {
+	return sweepStream(ctx, cfg, observe, false)
+}
+
+func sweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *Experiment), noSample bool) (<-chan SweepRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cells, cfgs, err := expandSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exps := make([]*Experiment, len(cfgs))
+	for i, rc := range cfgs {
+		exps[i], err = New(rc)
+		if err != nil {
+			return nil, err
+		}
+		exps[i].noSample = noSample
+	}
+	parallel := cfgs[0].Parallel // expandSweep always yields at least one cell
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	out := make(chan SweepRun)
+	go func() {
+		defer close(out)
+		if len(exps) == 0 {
+			return
+		}
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(exps) {
+						return
+					}
+					var res *Result
+					if ctx.Err() != nil {
+						// The sweep was cancelled before this cell started;
+						// report it without paying for rig construction.
+						res = &Result{CompletionTimes: map[int]float64{}, Cancelled: true}
+					} else {
+						if observe != nil {
+							observe(cells[i], exps[i])
+						}
+						// Start may fail only when the observe callback
+						// already started the cell itself; Wait covers both.
+						_ = exps[i].Start(ctx)
+						res, _ = exps[i].Wait()
+						if res == nil {
+							// Unreachable after a Start attempt, but a nil
+							// Result must never reach the stream's consumers.
+							res = &Result{CompletionTimes: map[int]float64{}, Cancelled: true}
+						}
+					}
+					// Delivery blocks: the consumer contract is to drain
+					// until close, and a cancelled run's partial result is
+					// exactly what the consumer cancelled to get.
+					out <- SweepRun{
+						Protocol: cells[i].Protocol,
+						Network:  cells[i].Network,
+						Seed:     cells[i].Seed,
+						Index:    i,
+						Result:   res,
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	return out, nil
+}
+
+// Sweep fans the cross product of the config across a worker pool of
+// sessions and returns one entry per run, ordered protocol-major, then
+// network, then seed: the one-shot compatibility wrapper over SweepStream.
+// Every cell is bit-identical to Run with the same single config.
+func Sweep(cfg SweepConfig) ([]SweepRun, error) {
+	ch, err := sweepStream(context.Background(), cfg, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	var runs []SweepRun
+	for r := range ch {
+		runs = append(runs, r)
+	}
+	ordered := make([]SweepRun, len(runs))
+	for _, r := range runs {
+		ordered[r.Index] = r
+	}
+	return ordered, nil
+}

@@ -144,6 +144,10 @@ func (s *Session) Start() {
 // Complete reports whether every non-source member finished.
 func (s *Session) Complete() bool { return s.comp >= len(s.cfg.Members)-1 }
 
+// DuplicateBlocks reports duplicate block deliveries across all nodes
+// (harness.DuplicateCounter).
+func (s *Session) DuplicateBlocks() int { return s.Duplicates }
+
 // DoneAt returns the completion time of the last node.
 func (s *Session) DoneAt() sim.Time { return s.doneAt }
 

@@ -272,7 +272,7 @@ func Figure13(sc Scale, seed int64) *Figure13Result {
 	}
 	sess := core.NewSession(rig.RT, cfg, rig.Master.Stream("bulletprime"))
 	sess.Start()
-	runUntilComplete(rig, sess, defaultDDL)
+	runUntilComplete(rig, sess, defaultDDL, nil)
 
 	series := trace.Series{Label: "Average"}
 	var all float64

@@ -9,13 +9,10 @@ import (
 	"fmt"
 	"math"
 
-	"bulletprime/internal/bittorrent"
-	"bulletprime/internal/bullet"
 	"bulletprime/internal/core"
 	"bulletprime/internal/netem"
 	"bulletprime/internal/proto"
 	"bulletprime/internal/sim"
-	"bulletprime/internal/splitstream"
 	"bulletprime/internal/trace"
 )
 
@@ -36,6 +33,14 @@ type Rig struct {
 
 	// Done records per-node completion times as sessions call back.
 	Done map[netem.NodeID]sim.Time
+
+	// OnBlock, when set before system construction, receives every novel
+	// block arrival on any member. Observers use it to sample per-node
+	// block progress; it must only read state, never mutate it.
+	OnBlock func(node netem.NodeID, blockID, count int)
+	// Annotate, when set, receives human-readable timeline annotations as
+	// scenario events fire and flash-crowd waves start.
+	Annotate func(text string)
 }
 
 // NewRig creates a rig over the given topology. The master RNG seeds every
@@ -128,49 +133,28 @@ func (r *Rig) BuildSystem(kind ProtoKind, w Workload, coreMut func(*core.Config)
 // suffix is the classic single-session stream.
 func (r *Rig) BuildSystemFor(kind ProtoKind, w Workload, coreMut func(*core.Config),
 	members []netem.NodeID, streamSuffix string) System {
+	return r.BuildNamedSystem(kind.String(), w, coreMut, members, streamSuffix)
+}
 
-	onComplete := r.record()
-	source := members[0]
-	switch kind {
-	case KindBulletPrime:
-		cfg := core.Config{
-			Source:     source,
-			Members:    members,
-			NumBlocks:  w.NumBlocks(),
-			BlockSize:  w.BlockSize,
-			Strategy:   core.RarestRandom,
-			OnComplete: onComplete,
-		}
-		if coreMut != nil {
-			coreMut(&cfg)
-		}
-		return core.NewSession(r.RT, cfg, r.Master.Stream("bulletprime"+streamSuffix))
-	case KindBullet:
-		return bullet.NewSession(r.RT, bullet.Config{
-			Source:     source,
-			Members:    members,
-			NumBlocks:  w.NumBlocks(),
-			BlockSize:  w.BlockSize,
-			OnComplete: onComplete,
-		}, r.Master.Stream("bullet"+streamSuffix))
-	case KindBitTorrent:
-		return bittorrent.NewSession(r.RT, bittorrent.Config{
-			Source:     source,
-			Members:    members,
-			NumBlocks:  w.NumBlocks(),
-			BlockSize:  w.BlockSize,
-			OnComplete: onComplete,
-		}, r.Master.Stream("bittorrent"+streamSuffix))
-	case KindSplitStream:
-		return splitstream.NewSession(r.RT, splitstream.Config{
-			Source:     source,
-			Members:    members,
-			NumBlocks:  w.NumBlocks(),
-			BlockSize:  w.BlockSize,
-			OnComplete: onComplete,
-		}, r.Master.Stream("splitstream"+streamSuffix))
+// BuildNamedSystem instantiates the registered system with the given name
+// over one cohort; see RegisterSystem for the open registry the four paper
+// protocols and third-party systems share.
+func (r *Rig) BuildNamedSystem(name string, w Workload, coreMut func(*core.Config),
+	members []netem.NodeID, streamSuffix string) System {
+
+	b, ok := LookupSystem(name)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown system %q (registered: %v)", name, SystemNames()))
 	}
-	panic(fmt.Sprintf("harness: unknown protocol kind %d", kind))
+	return b(BuildCtx{
+		Rig:          r,
+		Workload:     w,
+		CoreMut:      coreMut,
+		Members:      members,
+		StreamSuffix: streamSuffix,
+		OnComplete:   r.record(),
+		OnBlock:      r.OnBlock,
+	})
 }
 
 // RunResult captures one session's outcome.
@@ -179,6 +163,11 @@ type RunResult struct {
 	CDF      *trace.CDF
 	PerNode  map[netem.NodeID]sim.Time
 	Finished bool
+	// Stopped reports that Hooks.Stop ended the run before completion or
+	// deadline (context cancellation); PerNode then holds a partial set.
+	Stopped bool
+	// EndedAt is the virtual clock when the run ended.
+	EndedAt sim.Time
 	// Overheads from the runtime's accounting.
 	ControlBytes float64
 	DataBytes    float64
@@ -205,48 +194,110 @@ func RunOne(label string, seed int64, topoFn func(*sim.RNG) *netem.Topology,
 	})
 }
 
+// Hooks are optional observation and steering points for one run. All
+// callbacks execute on the run's event loop; they must only read rig and
+// system state (writing would break the bit-identity of observed and
+// unobserved runs).
+type Hooks struct {
+	// OnStart fires once after the rig and system are built, immediately
+	// before System.Start.
+	OnStart func(*Rig, System)
+	// OnTick fires every TickEvery virtual seconds (first tick at
+	// t=TickEvery) while the run is live — the observer's sampling clock.
+	TickEvery float64
+	OnTick    func(*Rig, System)
+	// Stop is polled between event batches; returning true ends the run
+	// early. RunResult.Stopped reports that it fired.
+	Stop func() bool
+	// OnBlock and Annotate are installed on the rig before system
+	// construction; see the Rig fields of the same names.
+	OnBlock  func(node netem.NodeID, blockID, count int)
+	Annotate func(text string)
+}
+
 // RunSpec executes one experiment spec: rig construction, the optional
 // compiled scenario (timeline events plus flash-crowd wave sessions), the
 // optional dynamics hook, then the run itself. Every sweep cell and RunOne
 // go through here, so a sweep's rigs are bit-identical to single runs.
+// Hooks only read state, so an observed run is bit-identical to an
+// unobserved one with the same spec.
 func RunSpec(s SweepSpec) *RunResult {
 	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
 	rig := NewRig(topo, s.Seed)
+	var stop func() bool
+	if s.Hooks != nil {
+		rig.OnBlock = s.Hooks.OnBlock
+		rig.Annotate = s.Hooks.Annotate
+		stop = s.Hooks.Stop
+	}
 	var sys System
 	if s.Scenario != nil {
 		sys = buildScenarioSystem(rig, s)
 	} else {
-		sys = rig.BuildSystem(s.Kind, s.Workload, s.CoreMut)
+		sys = rig.BuildNamedSystem(s.systemName(), s.Workload, s.CoreMut, rig.Members, "")
 	}
 	if s.Dynamics != nil {
 		s.Dynamics(rig)
 	}
+	if s.Hooks != nil {
+		if s.Hooks.OnStart != nil {
+			s.Hooks.OnStart(rig, sys)
+		}
+		if s.Hooks.TickEvery > 0 && s.Hooks.OnTick != nil {
+			scheduleTicks(rig, sys, s.Hooks, s.Deadline)
+		}
+	}
 	sys.Start()
-	runUntilComplete(rig, sys, s.Deadline)
+	stopped := runUntilComplete(rig, sys, s.Deadline, stop)
 	return &RunResult{
 		Label:        s.Label,
 		CDF:          rig.CDF(),
 		PerNode:      rig.Done,
 		Finished:     sys.Complete(),
+		Stopped:      stopped,
+		EndedAt:      rig.Eng.Now(),
 		ControlBytes: rig.RT.ControlBytes,
 		DataBytes:    rig.RT.DataBytes,
 	}
 }
 
+// scheduleTicks runs the hook's sampling clock as a self-rescheduling
+// engine event, bounded by the run deadline. Tick events only read state,
+// so they cannot perturb the run; they do keep the event queue non-empty
+// until the deadline, which runUntilComplete's completion check makes
+// harmless.
+func scheduleTicks(rig *Rig, sys System, h *Hooks, deadline sim.Time) {
+	var tick func()
+	tick = func() {
+		h.OnTick(rig, sys)
+		if next := rig.Eng.Now() + sim.Time(h.TickEvery); next <= deadline {
+			rig.Eng.Schedule(next, tick)
+		}
+	}
+	if first := rig.Eng.Now() + sim.Time(h.TickEvery); first <= deadline {
+		rig.Eng.Schedule(first, tick)
+	}
+}
+
 // runUntilComplete paces the engine by its own event queue so completion
-// can stop the run early: each iteration executes the next event timestamp
-// (capped by the deadline) and re-checks Complete, which is O(1) for every
-// protocol. Unlike fixed-width slicing, nearly-idle tails cost one iteration
-// per remaining event rather than one per empty slice.
-func runUntilComplete(rig *Rig, sys System, deadline sim.Time) {
+// (or a stop request) can end the run early: each iteration executes the
+// next event timestamp (capped by the deadline) and re-checks Complete,
+// which is O(1) for every protocol. Unlike fixed-width slicing, nearly-idle
+// tails cost one iteration per remaining event rather than one per empty
+// slice. It returns true when stop ended the run.
+func runUntilComplete(rig *Rig, sys System, deadline sim.Time, stop func() bool) bool {
 	for rig.Eng.Now() < deadline && !sys.Complete() {
+		if stop != nil && stop() {
+			return true
+		}
 		next, ok := rig.Eng.NextEventAt()
 		if !ok || next > deadline {
 			// Nothing more can happen before the deadline; advance the
 			// clock there and stop.
 			rig.Eng.RunUntil(deadline)
-			return
+			return false
 		}
 		rig.Eng.RunUntil(next)
 	}
+	return false
 }

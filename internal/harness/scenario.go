@@ -50,6 +50,14 @@ func (e *rigEnv) Sources() []netem.NodeID {
 	return e.sources
 }
 
+// Annotate implements scenario.Annotator: event annotations flow to the
+// rig's observer hook when one is installed.
+func (e *rigEnv) Annotate(text string) {
+	if e.rig.Annotate != nil {
+		e.rig.Annotate(text)
+	}
+}
+
 // ScenarioDynamics compiles a scenario and returns it in the harness's
 // dynamics-hook shape, so declarative scenarios slot anywhere a hardcoded
 // schedule used to (RunOne, figure generators, benchmarks). The scenario
@@ -81,8 +89,9 @@ func buildScenarioSystem(rig *Rig, s SweepSpec) System {
 	cohorts := prog.ResolveWaves(rig.Master.Stream("scenario/waves"))
 	var sys System
 	env := &rigEnv{rig: rig}
+	name := s.systemName()
 	if cohorts == nil {
-		sys = rig.BuildSystem(s.Kind, s.Workload, s.CoreMut)
+		sys = rig.BuildNamedSystem(name, s.Workload, s.CoreMut, rig.Members, "")
 	} else {
 		ws := &waveSystem{rig: rig}
 		waves := prog.Waves()
@@ -94,8 +103,9 @@ func buildScenarioSystem(rig *Rig, s SweepSpec) System {
 			// Sessions are built eagerly — proto nodes exist from t=0, so
 			// churn can hit future-wave members — and started at wave time.
 			ws.waves = append(ws.waves, waveEntry{
-				at:  waves[i].At,
-				sys: rig.BuildSystemFor(s.Kind, s.Workload, s.CoreMut, cohort, suffix),
+				at:   waves[i].At,
+				size: len(cohort),
+				sys:  rig.BuildNamedSystem(name, s.Workload, s.CoreMut, cohort, suffix),
 			})
 			env.sources = append(env.sources, cohort[0])
 		}
@@ -108,6 +118,7 @@ func buildScenarioSystem(rig *Rig, s SweepSpec) System {
 // waveEntry is one flash-crowd wave: a session and its start time.
 type waveEntry struct {
 	at      float64
+	size    int
 	sys     System
 	started bool
 }
@@ -123,16 +134,25 @@ type waveSystem struct {
 
 // Start launches wave 0 and schedules the rest.
 func (ws *waveSystem) Start() {
+	annotate := func(i int) {
+		if ws.rig.Annotate != nil {
+			ws.rig.Annotate(fmt.Sprintf("flash-crowd wave %d started (%d members)",
+				i, ws.waves[i].size))
+		}
+	}
 	for i := range ws.waves {
 		w := &ws.waves[i]
 		if w.at <= float64(ws.rig.Eng.Now()) {
 			w.started = true
 			w.sys.Start()
+			annotate(i)
 			continue
 		}
+		i := i
 		ws.rig.Eng.Schedule(sim.Time(w.at), func() {
 			w.started = true
 			w.sys.Start()
+			annotate(i)
 		})
 	}
 }

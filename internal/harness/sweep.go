@@ -25,6 +25,11 @@ type SweepSpec struct {
 	CoreMut  func(*core.Config)
 	Deadline sim.Time
 
+	// System names a protocol from the open registry (RegisterSystem) and
+	// takes precedence over Kind; empty means Kind.String(). The façade's
+	// registered third-party protocols arrive through this field.
+	System string
+
 	// Scenario optionally applies a compiled scenario program — declarative
 	// link dynamics, trace replay, outages, churn, and flash-crowd waves —
 	// to the rig. A Program is immutable, so one compiled scenario fans
@@ -32,6 +37,21 @@ type SweepSpec struct {
 	// rig's master RNG, keeping every cell bit-identical to a sequential
 	// run of the same seed.
 	Scenario *scenario.Program
+
+	// Hooks optionally observe the run (sampling ticks, block callbacks,
+	// annotations) and steer it (early stop). Hooks only read state, so an
+	// observed cell stays bit-identical to an unobserved one. Note that
+	// hook closures are per-spec: a spec sharing Hooks across Sweep workers
+	// must make its callbacks goroutine-safe.
+	Hooks *Hooks
+}
+
+// systemName resolves the registry name this spec's sessions build under.
+func (s *SweepSpec) systemName() string {
+	if s.System != "" {
+		return s.System
+	}
+	return s.Kind.String()
 }
 
 // Sweep runs every spec across a pool of parallel workers and returns the

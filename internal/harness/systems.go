@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bulletprime/internal/bittorrent"
+	"bulletprime/internal/bullet"
+	"bulletprime/internal/core"
+	"bulletprime/internal/netem"
+	"bulletprime/internal/splitstream"
+)
+
+// BuildCtx carries everything a protocol needs to construct one session on
+// a rig: the cohort, workload, and the harness's observation callbacks. A
+// builder must wire OnComplete (completion-time recording depends on it)
+// and should wire OnBlock when its protocol can report per-node block
+// arrivals.
+type BuildCtx struct {
+	Rig      *Rig
+	Workload Workload
+	// CoreMut tweaks Bullet' config (strategies, static peers, outstanding
+	// limits); builders for other systems may ignore it.
+	CoreMut func(*core.Config)
+	// Members is the session cohort; the first member is the source.
+	Members []netem.NodeID
+	// StreamSuffix distinguishes the RNG streams of concurrent sessions
+	// (flash-crowd waves) on one rig; empty for the classic single session.
+	StreamSuffix string
+	// OnComplete records a node's completion time; never nil.
+	OnComplete func(netem.NodeID)
+	// OnBlock, when non-nil, wants every novel block arrival
+	// (node, block id, blocks held). Builders chain it after any
+	// CoreMut-installed callback rather than replacing one.
+	OnBlock func(node netem.NodeID, blockID, count int)
+}
+
+// SystemBuilder constructs a protocol session from a build context. Third
+// parties register builders with RegisterSystem to plug new protocols into
+// the harness (and, via the bulletprime façade, into RunConfig.Protocol)
+// without touching any switch statement.
+type SystemBuilder func(BuildCtx) System
+
+var (
+	systemsMu sync.RWMutex
+	systems   = make(map[string]SystemBuilder)
+)
+
+// RegisterSystem adds a named protocol builder to the open registry. It
+// panics on an empty name, nil builder, or duplicate registration —
+// registration is an init-time programming act, like http.Handle.
+func RegisterSystem(name string, b SystemBuilder) {
+	if name == "" {
+		panic("harness: RegisterSystem with empty name")
+	}
+	if b == nil {
+		panic("harness: RegisterSystem with nil builder")
+	}
+	systemsMu.Lock()
+	defer systemsMu.Unlock()
+	if _, dup := systems[name]; dup {
+		panic(fmt.Sprintf("harness: system %q already registered", name))
+	}
+	systems[name] = b
+}
+
+// LookupSystem returns the registered builder for name, or false.
+func LookupSystem(name string) (SystemBuilder, bool) {
+	systemsMu.RLock()
+	defer systemsMu.RUnlock()
+	b, ok := systems[name]
+	return b, ok
+}
+
+// SystemNames lists every registered system, sorted.
+func SystemNames() []string {
+	systemsMu.RLock()
+	defer systemsMu.RUnlock()
+	names := make([]string, 0, len(systems))
+	for n := range systems {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The four paper systems self-register under their ProtoKind.String()
+// names, so BuildSystemFor's kind-based callers resolve through the same
+// registry as third-party protocols.
+func init() {
+	RegisterSystem(KindBulletPrime.String(), buildBulletPrime)
+	RegisterSystem(KindBullet.String(), buildBullet)
+	RegisterSystem(KindBitTorrent.String(), buildBitTorrent)
+	RegisterSystem(KindSplitStream.String(), buildSplitStream)
+}
+
+func buildBulletPrime(ctx BuildCtx) System {
+	cfg := core.Config{
+		Source:     ctx.Members[0],
+		Members:    ctx.Members,
+		NumBlocks:  ctx.Workload.NumBlocks(),
+		BlockSize:  ctx.Workload.BlockSize,
+		Strategy:   core.RarestRandom,
+		OnComplete: ctx.OnComplete,
+	}
+	if ctx.CoreMut != nil {
+		ctx.CoreMut(&cfg)
+	}
+	cfg.OnBlock = chainOnBlock(cfg.OnBlock, ctx.OnBlock)
+	return core.NewSession(ctx.Rig.RT, cfg, ctx.Rig.Master.Stream("bulletprime"+ctx.StreamSuffix))
+}
+
+func buildBullet(ctx BuildCtx) System {
+	return bullet.NewSession(ctx.Rig.RT, bullet.Config{
+		Source:     ctx.Members[0],
+		Members:    ctx.Members,
+		NumBlocks:  ctx.Workload.NumBlocks(),
+		BlockSize:  ctx.Workload.BlockSize,
+		OnBlock:    ctx.OnBlock,
+		OnComplete: ctx.OnComplete,
+	}, ctx.Rig.Master.Stream("bullet"+ctx.StreamSuffix))
+}
+
+func buildBitTorrent(ctx BuildCtx) System {
+	return bittorrent.NewSession(ctx.Rig.RT, bittorrent.Config{
+		Source:     ctx.Members[0],
+		Members:    ctx.Members,
+		NumBlocks:  ctx.Workload.NumBlocks(),
+		BlockSize:  ctx.Workload.BlockSize,
+		OnBlock:    ctx.OnBlock,
+		OnComplete: ctx.OnComplete,
+	}, ctx.Rig.Master.Stream("bittorrent"+ctx.StreamSuffix))
+}
+
+func buildSplitStream(ctx BuildCtx) System {
+	return splitstream.NewSession(ctx.Rig.RT, splitstream.Config{
+		Source:     ctx.Members[0],
+		Members:    ctx.Members,
+		NumBlocks:  ctx.Workload.NumBlocks(),
+		BlockSize:  ctx.Workload.BlockSize,
+		OnBlock:    ctx.OnBlock,
+		OnComplete: ctx.OnComplete,
+	}, ctx.Rig.Master.Stream("splitstream"+ctx.StreamSuffix))
+}
+
+// chainOnBlock composes two block callbacks, either of which may be nil.
+func chainOnBlock(a, b func(netem.NodeID, int, int)) func(netem.NodeID, int, int) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(id netem.NodeID, blockID, count int) {
+		a(id, blockID, count)
+		b(id, blockID, count)
+	}
+}
+
+// DuplicateCounter is an optional System extension: sessions that track
+// duplicate block deliveries expose them for the observer's
+// useful-vs-duplicate byte accounting. All four paper systems implement it.
+type DuplicateCounter interface {
+	DuplicateBlocks() int
+}
+
+// SystemDuplicates returns the system's duplicate-block count, descending
+// into flash-crowd wave sessions; systems without the extension report 0.
+func SystemDuplicates(sys System) int {
+	switch s := sys.(type) {
+	case DuplicateCounter:
+		return s.DuplicateBlocks()
+	case *waveSystem:
+		total := 0
+		for i := range s.waves {
+			total += SystemDuplicates(s.waves[i].sys)
+		}
+		return total
+	}
+	return 0
+}

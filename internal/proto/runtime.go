@@ -76,6 +76,12 @@ type Runtime struct {
 	// ControlBytes and DataBytes split delivered wire bytes by IsData.
 	ControlBytes float64
 	DataBytes    float64
+
+	// DataMeter, when set before the run, additionally feeds every
+	// delivered data byte into a rate meter, giving observers the overlay's
+	// instantaneous aggregate goodput. Nil (the default) costs the
+	// delivery path nothing but a nil check.
+	DataMeter *trace.RateMeter
 }
 
 // NewRuntime creates a runtime over the given emulated network.
@@ -372,6 +378,9 @@ func (h *half) serialized(m Message) {
 		rt.MessagesDelivered++
 		if c.IsData != nil && c.IsData(m.Kind) {
 			rt.DataBytes += m.Size
+			if rt.DataMeter != nil {
+				rt.DataMeter.Add(at, m.Size)
+			}
 		} else {
 			rt.ControlBytes += m.Size
 		}

@@ -33,6 +33,23 @@ type Env interface {
 	Sources() []netem.NodeID
 }
 
+// Annotator is an optional Env extension: an Env that also implements it
+// receives a human-readable annotation each time a scenario event fires
+// (bandwidth sets, degrade rounds, trace steps, outage transitions, node
+// failures). Observers surface these as live timeline markers; Envs
+// without the extension pay nothing.
+type Annotator interface {
+	Annotate(text string)
+}
+
+// annotate notifies the env's Annotator, if it has one. The format work
+// only happens when someone is listening.
+func annotate(env Env, format string, args ...any) {
+	if a, ok := env.(Annotator); ok {
+		a.Annotate(fmt.Sprintf(format, args...))
+	}
+}
+
 // Program is a validated, immutable scenario bound to an overlay size.
 // Apply may be called concurrently on different Envs — a parallel sweep
 // binds one shared Program to many rigs.
@@ -437,6 +454,7 @@ func (p *Program) Apply(env Env) {
 				for _, v := range nodes {
 					env.Fail(netem.NodeID(v))
 				}
+				annotate(env, "failed nodes %v", nodes)
 			})
 		case KindFlashCrowd:
 			// Session construction belongs to the harness.
@@ -531,9 +549,12 @@ func (p *Program) applySetBW(env Env, ev *Event) {
 	if ev.Period <= 0 {
 		count = 1
 	}
+	lset := ev.Links
+	kbps := ev.BWKbps
 	repeat(env, ev.At, ev.Period, count, func() {
 		links.setAll(topo, bw)
 		env.LinksChanged(refs)
+		annotate(env, "set %s to %.0f Kbps", lset, kbps)
 	})
 }
 
@@ -553,9 +574,11 @@ func (p *Program) applyScaleBW(env Env, ev *Event) {
 	if ev.Period <= 0 {
 		count = 1
 	}
+	lset := ev.Links
 	repeat(env, ev.At, ev.Period, count, func() {
 		links.scaleAll(topo, factor, floors)
 		env.LinksChanged(refs)
+		annotate(env, "scale %s by %.3g", lset, factor)
 	})
 }
 
@@ -605,6 +628,7 @@ func (p *Program) applyDegrade(env Env, ev *Event) {
 		}
 		env.LinksChanged(batch)
 		rounds++
+		annotate(env, "degrade round %d: %d links ×%.3g", rounds, len(batch), factor)
 		if ev.Count == 0 || rounds < ev.Count {
 			env.Schedule(env.Now()+ev.Period, round)
 		}
@@ -622,14 +646,18 @@ func (p *Program) applyTrace(env Env, ev *Event) {
 	}
 	scaled := make([]float64, links.size())
 	refs := links.refs()
+	lset := ev.Links
+	mode := ev.Mode
 	apply := func(v float64) {
-		if ev.Mode == "scale" {
+		if mode == "scale" {
 			for i := range base {
 				scaled[i] = base[i] * v * ev.Scale
 			}
 			links.setEach(topo, scaled)
+			annotate(env, "trace step on %s: ×%.3g", lset, v*ev.Scale)
 		} else {
 			links.setAll(topo, netem.Kbps(v*ev.Scale))
+			annotate(env, "trace step on %s: %.0f Kbps", lset, v*ev.Scale)
 		}
 		env.LinksChanged(refs)
 	}
@@ -657,17 +685,21 @@ func (p *Program) applyOutage(env Env, ev *Event) {
 	// Recovery restores the bandwidth each link had when the outage began,
 	// not a t=0 snapshot, so outages compose with degrade/trace mutations
 	// on overlapping links instead of silently undoing them.
+	lset := ev.Links
+	downKbps := ev.DownKbps
 	var restore []float64
 	var goDown, goUp func()
 	goDown = func() {
 		restore = links.snapshot(topo)
 		links.setAll(topo, downBW)
 		env.LinksChanged(refs)
+		annotate(env, "outage on %s: down to %.0f Kbps", lset, downKbps)
 		env.Schedule(env.Now()+down.Sample(rng), goUp)
 	}
 	goUp = func() {
 		links.setEach(topo, restore)
 		env.LinksChanged(refs)
+		annotate(env, "outage on %s: restored", lset)
 		env.Schedule(env.Now()+up.Sample(rng), goDown)
 	}
 	env.Schedule(ev.At+up.Sample(rng), goDown)
@@ -689,7 +721,10 @@ func (p *Program) applyChurn(env Env, ev *Event) {
 	for _, ci := range rng.SampleInts(len(candidates), k) {
 		id := candidates[ci]
 		life := ev.Lifetime.Sample(rng)
-		env.Schedule(ev.At+life, func() { env.Fail(id) })
+		env.Schedule(ev.At+life, func() {
+			env.Fail(id)
+			annotate(env, "churn: node %d failed", id)
+		})
 	}
 }
 

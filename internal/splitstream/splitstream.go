@@ -72,7 +72,15 @@ type Session struct {
 
 	// BlocksForwarded counts interior-node forwards (stats).
 	BlocksForwarded int
+	// Duplicates counts blocks delivered to a node that already held them.
+	// Stripe trees deliver each block along exactly one path, so this stays
+	// zero unless tree repair ever introduces overlap.
+	Duplicates int
 }
+
+// DuplicateBlocks reports duplicate block deliveries across all nodes
+// (harness.DuplicateCounter).
+func (s *Session) DuplicateBlocks() int { return s.Duplicates }
 
 // stripeTree is one stripe's dissemination tree: parent/children maps with
 // interior nodes drawn only from the stripe's assigned interior group.
@@ -273,6 +281,8 @@ func (p *ssPeer) onMessage(c *proto.Conn, m proto.Message) {
 			p.complete = true
 			p.s.nodeCompleted(p)
 		}
+	} else {
+		p.s.Duplicates++
 	}
 	// Forward down this stripe's tree if we are interior in it.
 	if len(p.out[bm.stripe]) > 0 {

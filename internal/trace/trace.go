@@ -176,8 +176,12 @@ func (c *CDF) Median() float64 { return c.Quantile(0.5) }
 // Worst returns the maximum sample (the paper's "slowest node").
 func (c *CDF) Worst() float64 { return c.Quantile(1.0) }
 
-// Best returns the minimum sample.
-func (c *CDF) Best() float64 { return c.Quantile(1.0 / math.Max(1, float64(len(c.samples)))) }
+// Best returns the minimum sample. (Under the nearest-rank rule
+// Quantile(q) hits index ceil(q·n)-1, so every q in (0, 1/n] — and the
+// clamped q=0 — selects the first sorted sample; an earlier definition
+// spelled this Quantile(1/n), which is the same value by that identity,
+// pinned in TestCDFBestIsMinimum.)
+func (c *CDF) Best() float64 { return c.Quantile(0) }
 
 // Mean returns the sample mean.
 func (c *CDF) Mean() float64 {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -128,6 +129,30 @@ func TestCDFQuantiles(t *testing.T) {
 	}
 	if got := c.Mean(); math.Abs(got-5.5) > 1e-12 {
 		t.Fatalf("Mean = %v, want 5.5", got)
+	}
+}
+
+// TestCDFBestIsMinimum pins the reconciled Best definition: Quantile(0)
+// and the historical Quantile(1/n) spelling both select the minimum sample
+// under the nearest-rank rule, for every population size.
+func TestCDFBestIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 40; n++ {
+		var c CDF
+		min := math.Inf(1)
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * 100
+			if x < min {
+				min = x
+			}
+			c.Add(x)
+		}
+		if got := c.Best(); got != min {
+			t.Fatalf("n=%d: Best = %v, want minimum %v", n, got, min)
+		}
+		if got := c.Quantile(1.0 / float64(n)); got != min {
+			t.Fatalf("n=%d: Quantile(1/n) = %v, want minimum %v", n, got, min)
+		}
 	}
 }
 
