@@ -37,9 +37,18 @@
 // as thin compatibility wrappers over sessions and produce bit-identical
 // results for equal seeds.
 //
+// Results persist: setting RunConfig.Archive records every completed run
+// and sweep cell into a content-addressed experiment archive on disk
+// (identical reruns dedupe, changed configs never collide), and
+// OpenArchive/ArchiveFilter/CompareArchived/ArchiveReport query archived
+// runs back and diff them into paper-style comparison reports — the
+// machinery behind bulletctl's ls/show/compare/report/gate subcommands
+// and the CI bench gate.
+//
 // The cmd/bulletctl tool regenerates every figure of the paper's
 // evaluation; see DESIGN.md for the experiment index (§6 documents the
-// session API) and EXPERIMENTS.md for measured results.
+// session API, §7 the experiment archive) and EXPERIMENTS.md for measured
+// results.
 package bulletprime
 
 import (
@@ -152,6 +161,13 @@ type RunConfig struct {
 	// at their own cadence). The one-shot Run/Sweep wrappers do not
 	// sample.
 	SampleEvery float64
+	// Archive, when set, persists every completed run — and every sweep
+	// cell using this config as its base — into the experiment archive,
+	// keyed by a deterministic hash of the normalized config, scenario
+	// digest, seed, and code version (identical reruns dedupe; execution
+	// knobs like Parallel are excluded from the hash). Cancelled runs are
+	// never archived. See OpenArchive and DESIGN.md §7.
+	Archive *Archive
 
 	// Bullet'-specific knobs (ignored by other protocols).
 	Strategy          RequestStrategy // default RarestRandom

@@ -1,7 +1,9 @@
 // Command bulletctl regenerates any figure of the paper's evaluation
 // section from the reproduced systems, runs single experiments and parallel
-// sweeps on the session API (with optional live progress), and lints
-// declarative scenario files.
+// sweeps on the session API (with optional live progress), lints
+// declarative scenario files, and manages the persistent experiment
+// archive: listing and inspecting recorded runs, producing A/B comparison
+// reports, and gating metrics against a committed baseline.
 //
 // Usage:
 //
@@ -10,16 +12,23 @@
 //	bulletctl -list
 //	bulletctl run -nodes 30 -filemb 10 -scenario rush.json -seed 1 -progress
 //	bulletctl sweep -nodes 100 -seeds 4 -protocols bulletprime,bittorrent -parallel 8
-//	bulletctl sweep -scenario rush.json -seeds 8 -progress
+//	bulletctl sweep -seeds 4 -protocols bulletprime,bittorrent -archive bench/
 //	bulletctl scenario lint -nodes 30 rush.json
+//	bulletctl ls -archive bench/
+//	bulletctl show -archive bench/ 1a2b3c4d
+//	bulletctl compare -archive bench/ -a protocol=bulletprime -b protocol=bittorrent
+//	bulletctl report -archive bench/ -o REPORT.md
+//	bulletctl gate -archive bench/ -baseline BENCH_BASELINE.json
 //
 // Figure output is gnuplot-style text: a summary table (best/median/p90/
 // worst download times per series) followed by the raw CDF points. Sweep
 // output is one summary row per rig plus a pooled row per protocol×network.
 // With -progress, run streams live samples (completions, goodput, scenario
-// events) to stderr and sweep reports each cell as it finishes. Scenario
-// lint validates a JSON scenario and prints its compiled timeline; it
-// exits 0 on success, 1 on a validation error, 2 on usage errors.
+// events) to stderr and sweep reports each cell as it finishes. With
+// -archive, run and sweep record every completed cell into the archive,
+// deduped by content hash. Every subcommand exits 0 on success, 1 on a
+// runtime/validation failure (including a failed gate), and 2 on usage
+// errors — unknown subcommands and bad flags never exit 0.
 package main
 
 import (
@@ -39,28 +48,83 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 {
-		switch os.Args[1] {
-		case "sweep":
-			runSweep(os.Args[2:])
-			return
-		case "run":
-			runSingle(os.Args[2:])
-			return
-		case "scenario":
-			os.Exit(runScenario(os.Args[2:], os.Stdout, os.Stderr))
-		}
+	os.Exit(dispatch(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// subcommands maps every verb to its implementation; dispatch and the
+// usage text share it.
+var subcommands = map[string]func(args []string, stdout, stderr io.Writer) int{
+	"run":      runSingle,
+	"sweep":    runSweep,
+	"scenario": runScenario,
+	"ls":       runLs,
+	"show":     runShow,
+	"compare":  runCompare,
+	"report":   runReport,
+	"gate":     runGate,
+}
+
+func usage(w io.Writer) {
+	names := make([]string, 0, len(subcommands))
+	for n := range subcommands {
+		names = append(names, n)
 	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "usage: bulletctl [-figure N | -list | -all DIR] [flags]\n")
+	fmt.Fprintf(w, "       bulletctl <%s> [flags]\n", strings.Join(names, "|"))
+	fmt.Fprintln(w, "run 'bulletctl <subcommand> -h' for subcommand flags")
+}
+
+// dispatch routes to a subcommand or the default figure mode and returns
+// the process exit code: 0 ok, 1 runtime failure, 2 usage error. An
+// unknown subcommand is a usage error, never a silent figure run.
+func dispatch(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, ok := subcommands[args[0]]
+		if !ok {
+			fmt.Fprintf(stderr, "bulletctl: unknown subcommand %q\n", args[0])
+			usage(stderr)
+			return 2
+		}
+		return cmd(args[1:], stdout, stderr)
+	}
+	return runFigure(args, stdout, stderr)
+}
+
+// parseFlags runs a ContinueOnError flag set and maps the outcome to an
+// exit code: -1 parsed fine, 0 explicit -h, 2 bad flags.
+func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) int {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	return -1
+}
+
+// runFigure is the default mode: regenerate one paper figure (or all).
+func runFigure(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bulletctl", flag.ContinueOnError)
 	var (
-		figure    = flag.Int("figure", 4, "paper figure to regenerate (4..15)")
-		scale     = flag.Float64("scale", 0.25, "experiment scale: 1 = paper scale (100 nodes, 100 MB)")
-		fileScale = flag.Float64("filescale", 0, "file-size scale override (defaults to -scale)")
-		seed      = flag.Int64("seed", 42, "master random seed (topology + protocol)")
-		list      = flag.Bool("list", false, "list available figures and exit")
-		summary   = flag.Bool("summary", false, "print only the summary table, not raw CDF points")
-		all       = flag.String("all", "", "regenerate every figure into this directory (figureNN.dat)")
+		figure    = fs.Int("figure", 4, "paper figure to regenerate (4..15)")
+		scale     = fs.Float64("scale", 0.25, "experiment scale: 1 = paper scale (100 nodes, 100 MB)")
+		fileScale = fs.Float64("filescale", 0, "file-size scale override (defaults to -scale)")
+		seed      = fs.Int64("seed", 42, "master random seed (topology + protocol)")
+		list      = fs.Bool("list", false, "list available figures and exit")
+		summary   = fs.Bool("summary", false, "print only the summary table, not raw CDF points")
+		all       = fs.String("all", "", "regenerate every figure into this directory (figureNN.dat)")
 	)
-	flag.Parse()
+	fs.Usage = func() { usage(stderr); fs.PrintDefaults() }
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bulletctl: unexpected argument %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
 
 	if *list {
 		var nums []int
@@ -69,9 +133,9 @@ func main() {
 		}
 		sort.Ints(nums)
 		for _, n := range nums {
-			fmt.Printf("  figure %2d: %s\n", n, harness.AllFigures[n])
+			fmt.Fprintf(stdout, "  figure %2d: %s\n", n, harness.AllFigures[n])
 		}
-		return
+		return 0
 	}
 
 	sc := harness.Scale{Nodes: *scale, File: *scale}
@@ -81,8 +145,8 @@ func main() {
 
 	if *all != "" {
 		if err := os.MkdirAll(*all, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "bulletctl:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return 1
 		}
 		var nums []int
 		for n := range harness.AllFigures {
@@ -93,24 +157,24 @@ func main() {
 			t0 := time.Now()
 			out, err := harness.Render(n, sc, *seed)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "bulletctl:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "bulletctl:", err)
+				return 1
 			}
 			path := fmt.Sprintf("%s/figure%02d.dat", *all, n)
 			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "bulletctl:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "bulletctl:", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s (%.1fs)\n", path, time.Since(t0).Seconds())
+			fmt.Fprintf(stderr, "wrote %s (%.1fs)\n", path, time.Since(t0).Seconds())
 		}
-		return
+		return 0
 	}
 
 	start := time.Now()
 	out, err := harness.Render(*figure, sc, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
 	}
 	if *summary {
 		// The summary table ends at the first blank-line + '#' block.
@@ -118,25 +182,47 @@ func main() {
 			if len(line) > 0 && line[0] == '#' {
 				break
 			}
-			fmt.Println(line)
+			fmt.Fprintln(stdout, line)
 		}
 	} else {
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	}
-	fmt.Fprintf(os.Stderr, "[figure %d, scale %.2f, %.1fs wall]\n", *figure, *scale, time.Since(start).Seconds())
+	fmt.Fprintf(stderr, "[figure %d, scale %.2f, %.1fs wall]\n", *figure, *scale, time.Since(start).Seconds())
+	return 0
 }
 
-// loadScenarioOrDie loads a -scenario file, exiting on error.
-func loadScenarioOrDie(path string) *bulletprime.Scenario {
+// loadScenario loads a -scenario file; "" means no scenario.
+func loadScenario(path string, stderr io.Writer) (*bulletprime.Scenario, bool) {
 	if path == "" {
-		return nil
+		return nil, true
 	}
 	sc, err := bulletprime.LoadScenario(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return nil, false
 	}
-	return sc
+	return sc, true
+}
+
+// openArchiveFlag opens (creating if needed) an -archive directory for a
+// recording subcommand; "" means archiving is off. version, when
+// non-empty, overrides the code version stamped onto new records — the
+// binary's VCS revision is only available when built with stamping (plain
+// `go run` records "dev"), so commit-vs-commit workflows pass it
+// explicitly.
+func openArchiveFlag(dir, version string, stderr io.Writer) (*bulletprime.Archive, bool) {
+	if dir == "" {
+		return nil, true
+	}
+	arch, err := bulletprime.OpenArchive(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return nil, false
+	}
+	if version != "" {
+		arch.SetVersion(version)
+	}
+	return arch, true
 }
 
 // interruptContext returns a context cancelled by the first SIGINT, so a
@@ -148,10 +234,10 @@ func interruptContext() (context.Context, context.CancelFunc) {
 
 // runSingle implements the run subcommand on the session API: one
 // experiment, optionally under a declarative scenario, with a per-node
-// completion summary, live -progress streaming, and ctrl-C returning
-// partial results.
-func runSingle(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// completion summary, live -progress streaming, optional archival, and
+// ctrl-C returning partial results.
+func runSingle(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	var (
 		nodes    = fs.Int("nodes", 30, "overlay size including the source")
 		fileMB   = fs.Float64("filemb", 10, "file size in MB")
@@ -163,8 +249,24 @@ func runSingle(args []string) {
 		deadline = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
 		progress = fs.Bool("progress", false, "stream live samples to stderr while running")
 		every    = fs.Float64("every", 5, "progress sample cadence in virtual seconds")
+		archDir  = fs.String("archive", "", "record the completed run into this experiment archive")
+		version  = fs.String("version", "", "code version stamped onto archived runs (default: binary VCS revision, or dev)")
 	)
-	fs.Parse(args)
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bulletctl run: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	scen, ok := loadScenario(*scenFile, stderr)
+	if !ok {
+		return 1
+	}
+	arch, ok := openArchiveFlag(*archDir, *version, stderr)
+	if !ok {
+		return 1
+	}
 
 	start := time.Now()
 	exp, err := bulletprime.New(bulletprime.RunConfig{
@@ -173,32 +275,33 @@ func runSingle(args []string) {
 		FileBytes:        *fileMB * 1e6,
 		Network:          bulletprime.NetworkPreset(*network),
 		DynamicBandwidth: *dynamic,
-		Scenario:         loadScenarioOrDie(*scenFile),
+		Scenario:         scen,
 		Seed:             *seed,
 		Deadline:         *deadline,
 		// The CLI prints aggregates and streams -progress through an
 		// observer; it never reads Result.Series.
 		SampleEvery: -1,
+		Archive:     arch,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
 	}
 	streamed := make(chan struct{})
 	if *progress {
 		obs, err := exp.Subscribe(bulletprime.ObserverConfig{Every: *every})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bulletctl:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return 1
 		}
 		go func() {
 			defer close(streamed)
 			for s := range obs.Samples() {
-				fmt.Fprintf(os.Stderr, "t=%7.1fs  %3d/%d done  %8.2f Mbps goodput  %5.2f%% control\n",
+				fmt.Fprintf(stderr, "t=%7.1fs  %3d/%d done  %8.2f Mbps goodput  %5.2f%% control\n",
 					s.Time, s.Completed, s.Receivers, s.GoodputBps*8/1e6,
 					100*s.ControlBytes/max1(s.ControlBytes+s.DataBytes))
 				for _, a := range s.Annotations {
-					fmt.Fprintf(os.Stderr, "           event @%.1fs: %s\n", a.At, a.Text)
+					fmt.Fprintf(stderr, "           event @%.1fs: %s\n", a.At, a.Text)
 				}
 			}
 		}()
@@ -208,20 +311,29 @@ func runSingle(args []string) {
 	ctx, stop := interruptContext()
 	defer stop()
 	res, err := exp.Run(ctx)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+	if err != nil && res == nil {
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
 	}
 	<-streamed
-	fmt.Printf("%-14s %-12s %6s %10s %10s %10s %9s %11s\n",
+	fmt.Fprintf(stdout, "%-14s %-12s %6s %10s %10s %10s %9s %11s\n",
 		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished", "completions")
-	fmt.Printf("%-14s %-12s %6d %10.1f %10.1f %10.1f %9v %11d\n",
+	fmt.Fprintf(stdout, "%-14s %-12s %6d %10.1f %10.1f %10.1f %9v %11d\n",
 		*protocol, *network, *seed, res.Best(), res.Median(), res.Worst(),
 		res.Finished, len(res.CompletionTimes))
 	if res.Cancelled {
-		fmt.Println("run cancelled; results above are partial")
+		fmt.Fprintln(stdout, "run cancelled; results above are partial")
 	}
-	fmt.Fprintf(os.Stderr, "[run, %.1fs wall]\n", time.Since(start).Seconds())
+	if err != nil {
+		// The run completed but archiving it failed.
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
+	}
+	if id := exp.RunID(); id != "" {
+		fmt.Fprintf(stderr, "archived as %s in %s\n", id, *archDir)
+	}
+	fmt.Fprintf(stderr, "[run, %.1fs wall]\n", time.Since(start).Seconds())
+	return 0
 }
 
 func max1(x float64) float64 {
@@ -240,13 +352,9 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fs := flag.NewFlagSet("scenario lint", flag.ContinueOnError)
-	fs.SetOutput(stderr)
 	nodes := fs.Int("nodes", 30, "overlay size to validate against")
-	if err := fs.Parse(args[1:]); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
+	if code := parseFlags(fs, args[1:], stderr); code >= 0 {
+		return code
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: bulletctl scenario lint [-nodes N] file.json")
@@ -269,9 +377,10 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 
 // runSweep implements the sweep subcommand: a seeds × protocols × networks
 // cross product fanned across a worker pool of sessions. With -progress,
-// each cell is reported on stderr the moment it completes.
-func runSweep(args []string) {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+// each cell is reported on stderr the moment it completes; with -archive,
+// each completed cell is recorded as it finishes.
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		nodes     = fs.Int("nodes", 100, "overlay size including the source")
 		fileMB    = fs.Float64("filemb", 10, "file size in MB")
@@ -283,17 +392,34 @@ func runSweep(args []string) {
 		parallel  = fs.Int("parallel", 0, "worker-pool size (0 = one per CPU)")
 		deadline  = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
 		progress  = fs.Bool("progress", false, "report each cell on stderr as it completes")
+		archDir   = fs.String("archive", "", "record every completed cell into this experiment archive")
+		version   = fs.String("version", "", "code version stamped onto archived runs (default: binary VCS revision, or dev)")
 	)
-	fs.Parse(args)
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bulletctl sweep: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	scen, ok := loadScenario(*scenFile, stderr)
+	if !ok {
+		return 1
+	}
+	arch, ok := openArchiveFlag(*archDir, *version, stderr)
+	if !ok {
+		return 1
+	}
 
 	cfg := bulletprime.SweepConfig{
 		Base: bulletprime.RunConfig{
 			Nodes:            *nodes,
 			FileBytes:        *fileMB * 1e6,
 			DynamicBandwidth: *dynamic,
-			Scenario:         loadScenarioOrDie(*scenFile),
+			Scenario:         scen,
 			Deadline:         *deadline,
 			Parallel:         *parallel,
+			Archive:          arch,
 		},
 	}
 	for s := int64(1); s <= int64(*seeds); s++ {
@@ -313,6 +439,7 @@ func runSweep(args []string) {
 	start := time.Now()
 	var runs []bulletprime.SweepRun
 	total, cancelled := 0, 0
+	archErrs := 0
 	if *progress {
 		// The streaming path: per-cell sessions sampled while they run,
 		// reported the moment they finish, SIGINT returning partial results.
@@ -323,17 +450,21 @@ func runSweep(args []string) {
 		cfg.Base.SampleEvery = -1
 		ch, err := bulletprime.SweepStream(ctx, cfg, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bulletctl:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return 1
 		}
 		for r := range ch {
 			runs = append(runs, r)
 			total++
+			if r.Err != nil {
+				archErrs++
+				fmt.Fprintln(stderr, "bulletctl:", r.Err)
+			}
 			if r.Result.Cancelled {
 				cancelled++
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "[%3d done] %-14s %-12s seed %-3d median %8.1fs worst %8.1fs\n",
+			fmt.Fprintf(stderr, "[%3d done] %-14s %-12s seed %-3d median %8.1fs worst %8.1fs\n",
 				total, r.Protocol, r.Network, r.Seed, r.Result.Median(), r.Result.Worst())
 		}
 		sort.Slice(runs, func(i, j int) bool { return runs[i].Index < runs[j].Index })
@@ -342,13 +473,19 @@ func runSweep(args []string) {
 		var err error
 		runs, err = bulletprime.Sweep(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bulletctl:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return 1
 		}
 		total = len(runs)
+		for _, r := range runs {
+			if r.Err != nil {
+				archErrs++
+				fmt.Fprintln(stderr, "bulletctl:", r.Err)
+			}
+		}
 	}
 
-	fmt.Printf("%-14s %-12s %6s %10s %10s %10s %9s\n",
+	fmt.Fprintf(stdout, "%-14s %-12s %6s %10s %10s %10s %9s\n",
 		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished")
 	type key struct {
 		p bulletprime.Protocol
@@ -360,10 +497,10 @@ func runSweep(args []string) {
 		if r.Result.Cancelled {
 			// Stopped mid-flight or never started: no completion statistics
 			// to report or pool.
-			fmt.Printf("%-14s %-12s %6d %43s\n", r.Protocol, r.Network, r.Seed, "(cancelled)")
+			fmt.Fprintf(stdout, "%-14s %-12s %6d %43s\n", r.Protocol, r.Network, r.Seed, "(cancelled)")
 			continue
 		}
-		fmt.Printf("%-14s %-12s %6d %10.1f %10.1f %10.1f %9v\n",
+		fmt.Fprintf(stdout, "%-14s %-12s %6d %10.1f %10.1f %10.1f %9v\n",
 			r.Protocol, r.Network, r.Seed,
 			r.Result.Best(), r.Result.Median(), r.Result.Worst(), r.Result.Finished)
 		k := key{r.Protocol, r.Network}
@@ -373,18 +510,23 @@ func runSweep(args []string) {
 		pooled[k] = append(pooled[k], r.Result.Median())
 	}
 	if cancelled > 0 {
-		fmt.Printf("%d of %d cells cancelled; pooled statistics cover completed cells only\n",
+		fmt.Fprintf(stdout, "%d of %d cells cancelled; pooled statistics cover completed cells only\n",
 			cancelled, total)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, k := range order {
 		meds := pooled[k]
 		sort.Float64s(meds)
-		fmt.Printf("%-14s %-12s pooled median-of-medians over %d seeds: %.1f s\n",
+		fmt.Fprintf(stdout, "%-14s %-12s pooled median-of-medians over %d seeds: %.1f s\n",
 			k.p, k.n, len(meds), meds[len(meds)/2])
 	}
-	fmt.Fprintf(os.Stderr, "[%d runs, parallel=%d, %.1fs wall]\n",
+	fmt.Fprintf(stderr, "[%d runs, parallel=%d, %.1fs wall]\n",
 		len(runs), *parallel, time.Since(start).Seconds())
+	if archErrs > 0 {
+		fmt.Fprintf(stderr, "bulletctl: %d cell(s) failed to archive\n", archErrs)
+		return 1
+	}
+	return 0
 }
 
 func splitKeep(s string) []string {

@@ -38,6 +38,13 @@ type Experiment struct {
 
 	done chan struct{}
 	res  *Result
+	// runID and recordErr report the automatic archive record made when
+	// cfg.Archive is set; seriesEvery is the effective cadence of the
+	// recorded Result.Series (-1 when the run kept none), part of the
+	// archive key. All three are published by the close of done.
+	runID       string
+	recordErr   error
+	seriesEvery float64
 }
 
 // New validates cfg (defaults filled, registries consulted, the scenario
@@ -181,7 +188,9 @@ func (e *Experiment) Stop() {
 func (e *Experiment) Done() <-chan struct{} { return e.done }
 
 // Wait blocks until the run ends and returns its Result. It is an error
-// to Wait on a session that was never started.
+// to Wait on a session that was never started. When RunConfig.Archive is
+// set, Wait also surfaces a failure to archive the completed run — the
+// Result is still returned alongside the error.
 func (e *Experiment) Wait() (*Result, error) {
 	e.mu.Lock()
 	started := e.started
@@ -190,7 +199,7 @@ func (e *Experiment) Wait() (*Result, error) {
 		return nil, fmt.Errorf("bulletprime: Wait before Start")
 	}
 	<-e.done
-	return e.res, nil
+	return e.res, e.recordErr
 }
 
 // Run is Start followed by Wait.
@@ -242,6 +251,20 @@ func (e *Experiment) run(ctx context.Context) {
 		res.Annotations = rec.annotations
 	}
 	e.res = res
+	// The archive key covers what was actually persisted: a run that kept
+	// a time-series (possibly at an observer-refined cadence) must never
+	// share an id — and thus dedupe — with an unobserved run of the same
+	// config whose record has no series.
+	e.seriesEvery = -1
+	if rec != nil && rec.recordSeries {
+		e.seriesEvery = rec.every
+	}
+	// Automatic archival: every completed run with an archive configured
+	// persists before the session reports done. Cancelled runs are partial
+	// and never archived.
+	if e.cfg.Archive != nil && !res.Cancelled {
+		e.runID, e.recordErr = recordRun(e.cfg.Archive, e.cfg, res, e.seriesEvery)
+	}
 	for _, o := range e.observers {
 		close(o.ch)
 	}
@@ -426,6 +449,12 @@ type SweepRun struct {
 	// Index is the cell's position in the sweep's deterministic order.
 	Index  int
 	Result *Result
+	// RunID is the archive id the cell recorded under when
+	// Base.Archive is set (empty otherwise, and for cancelled cells).
+	RunID string
+	// Err reports a per-cell archival failure; the cell's Result is still
+	// delivered.
+	Err error
 }
 
 // expandSweep normalizes the base config and builds the cross product in
@@ -522,6 +551,8 @@ func sweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *
 						return
 					}
 					var res *Result
+					var runID string
+					var recErr error
 					if ctx.Err() != nil {
 						// The sweep was cancelled before this cell started;
 						// report it without paying for rig construction.
@@ -533,11 +564,14 @@ func sweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *
 						// Start may fail only when the observe callback
 						// already started the cell itself; Wait covers both.
 						_ = exps[i].Start(ctx)
-						res, _ = exps[i].Wait()
+						// Wait's error is the cell's archival failure (when
+						// Base.Archive is set); it rides along in SweepRun.Err.
+						res, recErr = exps[i].Wait()
+						runID = exps[i].RunID()
 						if res == nil {
 							// Unreachable after a Start attempt, but a nil
 							// Result must never reach the stream's consumers.
-							res = &Result{CompletionTimes: map[int]float64{}, Cancelled: true}
+							res, recErr = &Result{CompletionTimes: map[int]float64{}, Cancelled: true}, nil
 						}
 					}
 					// Delivery blocks: the consumer contract is to drain
@@ -549,6 +583,8 @@ func sweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *
 						Seed:     cells[i].Seed,
 						Index:    i,
 						Result:   res,
+						RunID:    runID,
+						Err:      recErr,
 					}
 				}
 			}()

@@ -213,6 +213,12 @@ type Hooks struct {
 	// construction; see the Rig fields of the same names.
 	OnBlock  func(node netem.NodeID, blockID, count int)
 	Annotate func(text string)
+	// OnResult fires once with the finished RunResult, just before RunSpec
+	// returns — the capture point archival layers use to persist sweep
+	// cells as they finish. Under Sweep the callback runs on the worker
+	// goroutine that owns the cell, so a hook shared across specs must be
+	// goroutine-safe.
+	OnResult func(*RunResult)
 }
 
 // RunSpec executes one experiment spec: rig construction, the optional
@@ -249,7 +255,7 @@ func RunSpec(s SweepSpec) *RunResult {
 	}
 	sys.Start()
 	stopped := runUntilComplete(rig, sys, s.Deadline, stop)
-	return &RunResult{
+	res := &RunResult{
 		Label:        s.Label,
 		CDF:          rig.CDF(),
 		PerNode:      rig.Done,
@@ -259,6 +265,10 @@ func RunSpec(s SweepSpec) *RunResult {
 		ControlBytes: rig.RT.ControlBytes,
 		DataBytes:    rig.RT.DataBytes,
 	}
+	if s.Hooks != nil && s.Hooks.OnResult != nil {
+		s.Hooks.OnResult(res)
+	}
+	return res
 }
 
 // scheduleTicks runs the hook's sampling clock as a self-rescheduling

@@ -1,0 +1,277 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bulletprime/internal/trace"
+)
+
+// ReportQuantiles are the completion-time quantiles every summary row,
+// comparison table, and baseline metric can address.
+var ReportQuantiles = []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
+
+// quantileName renders a quantile in the paper's vocabulary.
+func quantileName(q float64) string {
+	switch q {
+	case 0:
+		return "best"
+	case 0.5:
+		return "median"
+	case 1:
+		return "worst"
+	}
+	return fmt.Sprintf("p%g", q*100)
+}
+
+// MetricQuantile resolves a metric name (best, median, worst, mean, or
+// pNN) to a pooled-CDF evaluator.
+func MetricQuantile(metric string) (func(*trace.CDF) float64, error) {
+	switch metric {
+	case "best":
+		return func(c *trace.CDF) float64 { return c.Quantile(0) }, nil
+	case "median":
+		return func(c *trace.CDF) float64 { return c.Quantile(0.5) }, nil
+	case "worst":
+		return func(c *trace.CDF) float64 { return c.Quantile(1) }, nil
+	case "mean":
+		return func(c *trace.CDF) float64 { return c.Mean() }, nil
+	}
+	// pNN: the suffix must parse in full, so a typo like "p5O" is rejected
+	// instead of silently gating p5.
+	if strings.HasPrefix(metric, "p") {
+		if pct, err := strconv.ParseFloat(metric[1:], 64); err == nil && pct > 0 && pct <= 100 {
+			return func(c *trace.CDF) float64 { return c.Quantile(pct / 100) }, nil
+		}
+	}
+	return nil, fmt.Errorf("lab: unknown metric %q (want best, median, worst, mean, or pNN)", metric)
+}
+
+// Summary is one run set pooled into a single distribution.
+type Summary struct {
+	Label string
+	Runs  int
+	Seeds []int64
+	// Pooled merges every run's completion-time CDF.
+	Pooled *trace.CDF
+}
+
+// Summarize pools a run set under one label. Seeds are the distinct seeds
+// present, sorted — the unit of pairing in Compare.
+func Summarize(label string, runs []*Run) Summary {
+	s := Summary{Label: label, Runs: len(runs), Pooled: &trace.CDF{}}
+	seen := map[int64]bool{}
+	for _, r := range runs {
+		s.Pooled.Merge(r.CDF())
+		if !seen[r.Meta.Seed] {
+			seen[r.Meta.Seed] = true
+			s.Seeds = append(s.Seeds, r.Meta.Seed)
+		}
+	}
+	sort.Slice(s.Seeds, func(i, j int) bool { return s.Seeds[i] < s.Seeds[j] })
+	return s
+}
+
+// QuantileDelta is one row of an A/B comparison: the pooled quantile under
+// both sides and the absolute/relative change from A to B.
+type QuantileDelta struct {
+	Q     float64
+	A, B  float64
+	Delta float64 // B - A (seconds; positive = B slower)
+	Ratio float64 // B / A (NaN when A is 0)
+}
+
+// PairedSeed is a seed present in both sides of a comparison, diffed on
+// the per-seed pooled median — the paper's "same conditions" pairing.
+type PairedSeed struct {
+	Seed  int64
+	A, B  float64
+	Delta float64
+}
+
+// Comparison is an A/B diff of two run sets.
+type Comparison struct {
+	A, B   Summary
+	Deltas []QuantileDelta
+	Paired []PairedSeed
+}
+
+// Compare diffs two run sets: pooled per-quantile deltas over
+// ReportQuantiles plus seed-paired median deltas for every seed present
+// on both sides.
+func Compare(labelA string, a []*Run, labelB string, b []*Run) *Comparison {
+	c := &Comparison{A: Summarize(labelA, a), B: Summarize(labelB, b)}
+	for _, q := range ReportQuantiles {
+		d := QuantileDelta{Q: q}
+		if c.A.Pooled.N() > 0 {
+			d.A = c.A.Pooled.Quantile(q)
+		}
+		if c.B.Pooled.N() > 0 {
+			d.B = c.B.Pooled.Quantile(q)
+		}
+		d.Delta = d.B - d.A
+		if d.A != 0 {
+			d.Ratio = d.B / d.A
+		} else {
+			d.Ratio = math.NaN()
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	medianBySeed := func(runs []*Run) map[int64]*trace.CDF {
+		out := map[int64]*trace.CDF{}
+		for _, r := range runs {
+			c, ok := out[r.Meta.Seed]
+			if !ok {
+				c = &trace.CDF{}
+				out[r.Meta.Seed] = c
+			}
+			c.Merge(r.CDF())
+		}
+		return out
+	}
+	byA, byB := medianBySeed(a), medianBySeed(b)
+	for _, seed := range c.A.Seeds {
+		ca, cb := byA[seed], byB[seed]
+		if cb == nil || ca.N() == 0 || cb.N() == 0 {
+			continue
+		}
+		c.Paired = append(c.Paired, PairedSeed{
+			Seed:  seed,
+			A:     ca.Quantile(0.5),
+			B:     cb.Quantile(0.5),
+			Delta: cb.Quantile(0.5) - ca.Quantile(0.5),
+		})
+	}
+	return c
+}
+
+// Report renders the comparison as a paper-style markdown section: a
+// pooled quantile-delta table, the seed-paired median table, and the two
+// download-time CDFs plotted against each other.
+func (c *Comparison) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s vs %s\n\n", c.A.Label, c.B.Label)
+	fmt.Fprintf(&b, "%d run(s) [%s], %d run(s) [%s]; completion times in seconds; delta = %s - %s.\n\n",
+		c.A.Runs, c.A.Label, c.B.Runs, c.B.Label, c.B.Label, c.A.Label)
+	fmt.Fprintf(&b, "| quantile | %s | %s | delta | ratio |\n", c.A.Label, c.B.Label)
+	b.WriteString("|---|---:|---:|---:|---:|\n")
+	for _, d := range c.Deltas {
+		ratio := "-"
+		if !math.IsNaN(d.Ratio) {
+			ratio = fmt.Sprintf("%.3f", d.Ratio)
+		}
+		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %+.1f | %s |\n",
+			quantileName(d.Q), d.A, d.B, d.Delta, ratio)
+	}
+	if len(c.Paired) > 0 {
+		fmt.Fprintf(&b, "\nSeed-paired medians (%d shared seed(s)):\n\n", len(c.Paired))
+		fmt.Fprintf(&b, "| seed | %s | %s | delta |\n", c.A.Label, c.B.Label)
+		b.WriteString("|---:|---:|---:|---:|\n")
+		for _, p := range c.Paired {
+			fmt.Fprintf(&b, "| %d | %.1f | %.1f | %+.1f |\n", p.Seed, p.A, p.B, p.Delta)
+		}
+	}
+	b.WriteString("\n```\n")
+	b.WriteString(cdfPlot("download time CDF", []Summary{c.A, c.B}))
+	b.WriteString("```\n")
+	return b.String()
+}
+
+// cdfPlot renders pooled CDFs through the trace package's figure
+// machinery — the same staircase the paper's figures plot.
+func cdfPlot(title string, sums []Summary) string {
+	fig := &trace.Figure{Title: title, XLabel: "download time (s)", YLabel: "fraction of nodes"}
+	for _, s := range sums {
+		if s.Pooled.N() == 0 {
+			continue
+		}
+		fig.Series = append(fig.Series, trace.FromCDF(s.Label, s.Pooled))
+	}
+	if len(fig.Series) == 0 {
+		return "(no completions recorded)\n"
+	}
+	return fig.AsciiPlot(64, 16)
+}
+
+// GroupKey identifies one comparable population of runs: same protocol,
+// network, and scenario. Its String form is the label baseline entries and
+// report sections key on.
+type GroupKey struct {
+	Protocol string
+	Network  string
+	Scenario string // scenario name, "" when none
+}
+
+func (k GroupKey) String() string {
+	s := k.Protocol + "/" + k.Network
+	if k.Scenario != "" {
+		s += "/" + k.Scenario
+	}
+	return s
+}
+
+// GroupRuns buckets runs by GroupKey, returning keys in deterministic
+// sorted order.
+func GroupRuns(runs []*Run) ([]GroupKey, map[GroupKey][]*Run) {
+	groups := map[GroupKey][]*Run{}
+	var keys []GroupKey
+	for _, r := range runs {
+		k := GroupKey{Protocol: r.Meta.Protocol, Network: r.Meta.Network, Scenario: r.Meta.ScenarioName}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys, groups
+}
+
+// Report renders a whole run set as a markdown document: one summary row
+// per (protocol, network, scenario) group, then the groups' CDFs plotted
+// together per network+scenario so protocols are visually comparable.
+func Report(runs []*Run) string {
+	var b strings.Builder
+	b.WriteString("# Experiment archive report\n\n")
+	if len(runs) == 0 {
+		b.WriteString("(no runs match)\n")
+		return b.String()
+	}
+	keys, groups := GroupRuns(runs)
+	fmt.Fprintf(&b, "%d run(s) in %d group(s); completion times in seconds.\n\n", len(runs), len(keys))
+	b.WriteString("| group | runs | seeds | best | median | p90 | worst |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	sums := make(map[GroupKey]Summary, len(keys))
+	for _, k := range keys {
+		s := Summarize(k.String(), groups[k])
+		sums[k] = s
+		if s.Pooled.N() == 0 {
+			fmt.Fprintf(&b, "| %s | %d | %d | - | - | - | - |\n", s.Label, s.Runs, len(s.Seeds))
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %.1f | %.1f | %.1f | %.1f |\n",
+			s.Label, s.Runs, len(s.Seeds),
+			s.Pooled.Quantile(0), s.Pooled.Quantile(0.5), s.Pooled.Quantile(0.9), s.Pooled.Quantile(1))
+	}
+	// One figure per network+scenario, protocols as series.
+	type figKey struct{ network, scenario string }
+	var figOrder []figKey
+	figGroups := map[figKey][]Summary{}
+	for _, k := range keys {
+		fk := figKey{k.Network, k.Scenario}
+		if _, ok := figGroups[fk]; !ok {
+			figOrder = append(figOrder, fk)
+		}
+		figGroups[fk] = append(figGroups[fk], sums[k])
+	}
+	for _, fk := range figOrder {
+		title := "download time CDF — " + fk.network
+		if fk.scenario != "" {
+			title += " / " + fk.scenario
+		}
+		fmt.Fprintf(&b, "\n## %s\n\n```\n%s```\n", title, cdfPlot(title, figGroups[fk]))
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkRun builds an in-memory run (no archive) for analysis tests.
+func mkRun(protocol, network, scenarioName string, seed int64, times ...float64) *Run {
+	m := map[int]float64{}
+	for i, t := range times {
+		m[i+1] = t
+	}
+	return &Run{
+		Meta: Meta{
+			Protocol: protocol, Network: network, ScenarioName: scenarioName,
+			Seed: seed, Finished: true,
+		},
+		CompletionTimes: m,
+	}
+}
+
+func TestCompareSeedPairedDeltas(t *testing.T) {
+	a := []*Run{
+		mkRun("bulletprime", "modelnet", "", 1, 10, 20, 30),
+		mkRun("bulletprime", "modelnet", "", 2, 12, 22, 32),
+	}
+	b := []*Run{
+		mkRun("bittorrent", "modelnet", "", 1, 20, 40, 60),
+		mkRun("bittorrent", "modelnet", "", 3, 1, 2, 3), // unpaired seed
+	}
+	c := Compare("bulletprime", a, "bittorrent", b)
+	if c.A.Runs != 2 || c.B.Runs != 2 {
+		t.Fatalf("summaries: %d/%d runs", c.A.Runs, c.B.Runs)
+	}
+	if len(c.Paired) != 1 || c.Paired[0].Seed != 1 {
+		t.Fatalf("paired seeds %+v, want exactly seed 1", c.Paired)
+	}
+	if c.Paired[0].A != 20 || c.Paired[0].B != 40 || c.Paired[0].Delta != 20 {
+		t.Fatalf("seed-1 pairing %+v, want medians 20 vs 40", c.Paired[0])
+	}
+	if len(c.Deltas) != len(ReportQuantiles) {
+		t.Fatalf("%d quantile rows, want %d", len(c.Deltas), len(ReportQuantiles))
+	}
+	var median QuantileDelta
+	for _, d := range c.Deltas {
+		if d.Q == 0.5 {
+			median = d
+		}
+	}
+	// Pooled A = {10,12,20,22,30,32} -> median 20; pooled B has 6 samples too.
+	if median.A != 20 {
+		t.Fatalf("pooled A median %v, want 20", median.A)
+	}
+	if median.Delta != median.B-median.A {
+		t.Fatalf("delta inconsistent: %+v", median)
+	}
+
+	rep := c.Report()
+	for _, want := range []string{
+		"## bulletprime vs bittorrent",
+		"| median |",
+		"Seed-paired medians (1 shared seed(s))",
+		"## series", // ascii plot legend comes from trace.Figure
+	} {
+		if !strings.Contains(rep, want) && want != "## series" {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(rep, "download time CDF") {
+		t.Errorf("report missing CDF plot:\n%s", rep)
+	}
+}
+
+func TestCompareEmptySides(t *testing.T) {
+	c := Compare("a", nil, "b", nil)
+	if len(c.Paired) != 0 {
+		t.Fatalf("empty comparison paired %d seeds", len(c.Paired))
+	}
+	rep := c.Report()
+	if !strings.Contains(rep, "no completions recorded") {
+		t.Fatalf("empty comparison report should say so:\n%s", rep)
+	}
+}
+
+func TestReportGroupsByProtocolNetworkScenario(t *testing.T) {
+	runs := []*Run{
+		mkRun("bulletprime", "modelnet", "", 1, 10, 20),
+		mkRun("bulletprime", "modelnet", "", 2, 11, 21),
+		mkRun("bittorrent", "modelnet", "", 1, 30, 40),
+		mkRun("bulletprime", "clustered", "rush", 1, 5, 6),
+	}
+	keys, groups := GroupRuns(runs)
+	if len(keys) != 3 {
+		t.Fatalf("%d groups, want 3", len(keys))
+	}
+	if len(groups[GroupKey{"bulletprime", "modelnet", ""}]) != 2 {
+		t.Fatal("seed runs not pooled into one group")
+	}
+
+	rep := Report(runs)
+	for _, want := range []string{
+		"| bulletprime/modelnet | 2 | 2 |",
+		"| bittorrent/modelnet | 1 | 1 |",
+		"| bulletprime/clustered/rush | 1 | 1 |",
+		"download time CDF — modelnet",
+		"download time CDF — clustered / rush",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("archive report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestMetricQuantile(t *testing.T) {
+	runs := []*Run{mkRun("p", "n", "", 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)}
+	s := Summarize("x", runs)
+	cases := map[string]float64{
+		"best": 1, "median": 5, "worst": 10, "p90": 9, "mean": 5.5,
+	}
+	for name, want := range cases {
+		eval, err := MetricQuantile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := eval(s.Pooled); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"p0", "p200", "frobs", "", "p5O", "p50x", "p"} {
+		if _, err := MetricQuantile(bad); err == nil {
+			t.Errorf("metric %q should be rejected", bad)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed set of per-group metric values that Gate checks
+// fresh runs against: the repository's durable performance memory. The
+// JSON form is committed next to the code (BENCH_BASELINE.json) and
+// regenerated with `bulletctl gate -write` when a change legitimately
+// moves the numbers.
+type Baseline struct {
+	// Metric names the pooled-CDF statistic gated per group: best, median,
+	// worst, mean, or pNN (see MetricQuantile).
+	Metric string `json:"metric"`
+	// Tolerance is the allowed fractional regression: current values up to
+	// Entries[group] * (1 + Tolerance) pass. Completion times regress
+	// upward, so only increases can fail the gate.
+	Tolerance float64 `json:"tolerance"`
+	// Entries maps GroupKey.String() labels to the baseline metric value
+	// in seconds.
+	Entries map[string]float64 `json:"entries"`
+}
+
+// BaselineFrom captures the current run set as a new baseline.
+func BaselineFrom(runs []*Run, metric string, tolerance float64) (*Baseline, error) {
+	eval, err := MetricQuantile(metric)
+	if err != nil {
+		return nil, err
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("lab: negative gate tolerance %v", tolerance)
+	}
+	b := &Baseline{Metric: metric, Tolerance: tolerance, Entries: map[string]float64{}}
+	keys, groups := GroupRuns(runs)
+	for _, k := range keys {
+		s := Summarize(k.String(), groups[k])
+		if s.Pooled.N() == 0 {
+			continue
+		}
+		b.Entries[k.String()] = eval(s.Pooled)
+	}
+	return b, nil
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lab: baseline %s: %w", path, err)
+	}
+	if _, err := MetricQuantile(b.Metric); err != nil {
+		return nil, fmt.Errorf("lab: baseline %s: %w", path, err)
+	}
+	if b.Tolerance < 0 {
+		return nil, fmt.Errorf("lab: baseline %s: negative tolerance %v", path, b.Tolerance)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	return nil
+}
+
+// GateResult is one group's verdict against the baseline.
+type GateResult struct {
+	Label    string
+	Baseline float64 // committed value (0 when the group is new)
+	Current  float64 // measured value (0 when the group is missing)
+	Limit    float64 // Baseline * (1 + Tolerance)
+	// Exactly one of these can be set; a result with none set passed.
+	Regressed bool // Current exceeds Limit
+	Missing   bool // baseline group absent from the run set
+	New       bool // run-set group absent from the baseline (informational)
+}
+
+// Gate evaluates the run set against the baseline. It returns one result
+// per group (union of baseline and run-set groups, sorted by label) and
+// whether the gate passes: every baseline group must be present and within
+// tolerance. New groups are reported but never fail the gate — they become
+// entries on the next -write.
+func (b *Baseline) Gate(runs []*Run) ([]GateResult, bool) {
+	eval, err := MetricQuantile(b.Metric)
+	if err != nil {
+		// LoadBaseline/BaselineFrom validate Metric; a hand-built bad
+		// baseline fails every group rather than panicking.
+		return []GateResult{{Label: "(invalid metric " + b.Metric + ")", Regressed: true}}, false
+	}
+	current := map[string]float64{}
+	keys, groups := GroupRuns(runs)
+	for _, k := range keys {
+		s := Summarize(k.String(), groups[k])
+		if s.Pooled.N() > 0 {
+			current[k.String()] = eval(s.Pooled)
+		}
+	}
+	labels := map[string]bool{}
+	for l := range b.Entries {
+		labels[l] = true
+	}
+	for l := range current {
+		labels[l] = true
+	}
+	ordered := make([]string, 0, len(labels))
+	for l := range labels {
+		ordered = append(ordered, l)
+	}
+	sort.Strings(ordered)
+
+	ok := true
+	var out []GateResult
+	for _, l := range ordered {
+		base, inBase := b.Entries[l]
+		cur, inCur := current[l]
+		r := GateResult{Label: l, Baseline: base, Current: cur, Limit: base * (1 + b.Tolerance)}
+		switch {
+		case !inBase:
+			r.New = true
+		case !inCur:
+			r.Missing = true
+			ok = false
+		case cur > r.Limit:
+			r.Regressed = true
+			ok = false
+		}
+		out = append(out, r)
+	}
+	return out, ok
+}
+
+// RenderGate formats gate results as the table `bulletctl gate` prints.
+func RenderGate(metric string, results []GateResult, ok bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %10s %10s %10s  %s\n", "group", "baseline", "limit", "current", "verdict")
+	for _, r := range results {
+		verdict := "ok"
+		switch {
+		case r.Regressed:
+			verdict = "REGRESSED"
+		case r.Missing:
+			verdict = "MISSING"
+		case r.New:
+			verdict = "new"
+		}
+		baseline, limit, current := num(r.Baseline, !r.New), num(r.Limit, !r.New), num(r.Current, !r.Missing)
+		fmt.Fprintf(&b, "%-40s %10s %10s %10s  %s\n", r.Label, baseline, limit, current, verdict)
+	}
+	if ok {
+		fmt.Fprintf(&b, "gate ok (%s within tolerance)\n", metric)
+	} else {
+		fmt.Fprintf(&b, "gate FAILED (%s regressed or group missing)\n", metric)
+	}
+	return b.String()
+}
+
+func num(v float64, present bool) string {
+	if !present {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

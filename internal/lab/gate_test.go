@@ -1,0 +1,134 @@
+package lab
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineGate(t *testing.T) {
+	runs := []*Run{
+		mkRun("bulletprime", "modelnet", "", 1, 10, 20, 30),
+		mkRun("bittorrent", "modelnet", "", 1, 40, 50, 60),
+	}
+	base, err := BaselineFrom(runs, "median", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Entries["bulletprime/modelnet"] != 20 || base.Entries["bittorrent/modelnet"] != 50 {
+		t.Fatalf("baseline entries %+v", base.Entries)
+	}
+
+	// The capturing run set passes its own baseline.
+	results, ok := base.Gate(runs)
+	if !ok {
+		t.Fatalf("self-gate failed: %+v", results)
+	}
+
+	// Within tolerance passes; beyond fails.
+	within := []*Run{
+		mkRun("bulletprime", "modelnet", "", 1, 11, 21.9, 31),
+		mkRun("bittorrent", "modelnet", "", 1, 40, 50, 60),
+	}
+	if _, ok := base.Gate(within); !ok {
+		t.Fatal("regression within 10% tolerance should pass")
+	}
+	regressed := []*Run{
+		mkRun("bulletprime", "modelnet", "", 1, 11, 23, 31), // median 23 > 20*1.1
+		mkRun("bittorrent", "modelnet", "", 1, 40, 50, 60),
+	}
+	results, ok = base.Gate(regressed)
+	if ok {
+		t.Fatal("12% regression must fail a 10% gate")
+	}
+	var hit bool
+	for _, r := range results {
+		if r.Label == "bulletprime/modelnet" && r.Regressed {
+			hit = true
+		}
+		if r.Label == "bittorrent/modelnet" && (r.Regressed || r.Missing) {
+			t.Fatalf("unregressed group flagged: %+v", r)
+		}
+	}
+	if !hit {
+		t.Fatalf("regressed group not flagged: %+v", results)
+	}
+
+	// Improvements pass (completion time only regresses upward).
+	improved := []*Run{
+		mkRun("bulletprime", "modelnet", "", 1, 5, 10, 15),
+		mkRun("bittorrent", "modelnet", "", 1, 20, 25, 30),
+	}
+	if _, ok := base.Gate(improved); !ok {
+		t.Fatal("improvement should pass the gate")
+	}
+
+	// A baseline group missing from the run set fails loudly.
+	missing := []*Run{mkRun("bulletprime", "modelnet", "", 1, 10, 20, 30)}
+	results, ok = base.Gate(missing)
+	if ok {
+		t.Fatal("missing baseline group must fail the gate")
+	}
+	found := false
+	for _, r := range results {
+		if r.Label == "bittorrent/modelnet" && r.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing group not reported: %+v", results)
+	}
+
+	// New groups are informational only.
+	extra := append(runs, mkRun("splitstream", "modelnet", "", 1, 1, 2, 3))
+	results, ok = base.Gate(extra)
+	if !ok {
+		t.Fatal("a new group must not fail the gate")
+	}
+	foundNew := false
+	for _, r := range results {
+		if r.Label == "splitstream/modelnet" && r.New {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Fatalf("new group not reported: %+v", results)
+	}
+
+	out := RenderGate(base.Metric, results, ok)
+	if !strings.Contains(out, "gate ok") || !strings.Contains(out, "new") {
+		t.Fatalf("rendered gate table missing verdicts:\n%s", out)
+	}
+}
+
+func TestBaselineSaveLoad(t *testing.T) {
+	base := &Baseline{Metric: "p90", Tolerance: 0.15, Entries: map[string]float64{"a/b": 12.5}}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metric != "p90" || back.Tolerance != 0.15 || back.Entries["a/b"] != 12.5 {
+		t.Fatalf("baseline round trip %+v", back)
+	}
+
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing baseline file should fail")
+	}
+
+	bad := &Baseline{Metric: "nope", Entries: map[string]float64{}}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.Save(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(badPath); err == nil {
+		t.Fatal("baseline with unknown metric should fail to load")
+	}
+
+	if _, err := BaselineFrom(nil, "median", -1); err == nil {
+		t.Fatal("negative tolerance should be rejected")
+	}
+}

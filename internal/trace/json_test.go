@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestCDFJSONRoundTrip pins the archive's persistence contract: a CDF
+// encoded to JSON and decoded back holds the exact same samples,
+// bit-for-bit, in the same order, and answers the same quantile queries.
+func TestCDFJSONRoundTrip(t *testing.T) {
+	samples := []float64{
+		0,
+		1,
+		math.Pi,
+		1.0 / 3.0,
+		123.456789,
+		math.SmallestNonzeroFloat64,
+		math.MaxFloat64,
+		math.Nextafter(7.25, 8),
+		-42.000000001,
+		1e-300,
+	}
+	var c CDF
+	for _, s := range samples {
+		c.Add(s)
+	}
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CDF
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != c.N() {
+		t.Fatalf("round trip lost samples: %d -> %d", c.N(), back.N())
+	}
+	for i, want := range samples {
+		got := back.samples[i]
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("sample %d: %v (bits %x) != %v (bits %x)",
+				i, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if a, b := c.Quantile(q), back.Quantile(q); math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("quantile %.2f differs after round trip: %v != %v", q, a, b)
+		}
+	}
+}
+
+// TestCDFJSONEmpty pins that empty and nil CDFs encode as [] (never null)
+// and decode back to a usable empty CDF.
+func TestCDFJSONEmpty(t *testing.T) {
+	var c CDF
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty CDF encodes as %s, want []", data)
+	}
+	var back CDF
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 {
+		t.Fatalf("empty round trip has %d samples", back.N())
+	}
+	back.Add(5)
+	if back.Median() != 5 {
+		t.Fatalf("decoded CDF unusable: median %v", back.Median())
+	}
+}
+
+// TestCDFJSONDecodePreservesLazySort pins that decoding marks the CDF
+// unsorted, so quantiles on a decoded out-of-order array still sort.
+func TestCDFJSONDecodePreservesLazySort(t *testing.T) {
+	var c CDF
+	if err := json.Unmarshal([]byte(`[3, 1, 2]`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1 (decoded CDF must re-sort)", got)
+	}
+}
+
+// TestCDFJSONRejectsGarbage ensures a corrupt persisted CDF is an error,
+// not an empty distribution.
+func TestCDFJSONRejectsGarbage(t *testing.T) {
+	var c CDF
+	if err := json.Unmarshal([]byte(`{"nope": 1}`), &c); err == nil {
+		t.Fatal("decoding a JSON object into a CDF should fail")
+	}
+}

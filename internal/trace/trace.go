@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -145,6 +146,29 @@ func (c *CDF) Merge(other *CDF) {
 	}
 	c.samples = append(c.samples, other.samples...)
 	c.sorted = false
+}
+
+// MarshalJSON encodes the CDF as a bare JSON array of its samples in
+// insertion order (never null, so an empty CDF decodes back to an empty
+// CDF). Go's float64 encoding is shortest-round-trip, so persisting a CDF
+// through JSON — as the experiment archive does — preserves every sample
+// bit-for-bit.
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	if c.samples == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(c.samples)
+}
+
+// UnmarshalJSON decodes a sample array produced by MarshalJSON.
+func (c *CDF) UnmarshalJSON(data []byte) error {
+	var samples []float64
+	if err := json.Unmarshal(data, &samples); err != nil {
+		return fmt.Errorf("trace: decoding CDF: %w", err)
+	}
+	c.samples = samples
+	c.sorted = false
+	return nil
 }
 
 func (c *CDF) sort() {
