@@ -466,7 +466,12 @@ func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 4) }
 // intra-cluster transfers per node, the fair-share load the scenario events
 // must churn through.
 func scenarioBenchRig(seed int64) *harness.Rig {
-	const n, clusterSize = 500, 25
+	return scenarioBenchRigN(seed, 500)
+}
+
+// scenarioBenchRigN is the same load at an arbitrary clustered scale.
+func scenarioBenchRigN(seed int64, n int) *harness.Rig {
+	const clusterSize = 25
 	topo := harness.ClusteredTopology(n, clusterSize)(sim.NewRNG(seed).Stream("topo"))
 	rig := harness.NewRig(topo, seed)
 	rng := rig.Master.Stream("benchflows")
@@ -536,6 +541,35 @@ func BenchmarkScenarioChurn500(b *testing.B) {
 	}
 	b.ReportMetric(float64(recomputes), "recomputes")
 	b.ReportMetric(float64(rates), "rates_recomputed")
+}
+
+// BenchmarkScenarioTraceReplay5000 is the Scale5000 cost probe: the same
+// trace-replay dynamics as the 500-node benchmark at 10x the width (200
+// clusters, ~7500 restarting transfers, a looping trace hitting 2% of
+// inbound access links). One iteration includes building the dense
+// 5000-node topology (~600 MB), which is why the benchmark reports
+// wall_s_per_virtual explicitly: the event-core cost is the per-virtual-
+// second slope, not the setup.
+func BenchmarkScenarioTraceReplay5000(b *testing.B) {
+	tr := &scenario.Trace{
+		Times:    []float64{0, 3, 5, 9, 12},
+		Values:   []float64{3000, 400, 3000, 1200, 3000},
+		Duration: 15,
+	}
+	sc := scenario.New("bench-trace-5000",
+		scenario.TraceReplay(1, scenario.LinkSet{Frac: 0.02, Dir: "in"}, tr, true))
+	var executed uint64
+	var wallPerVirtual float64
+	for i := 0; i < b.N; i++ {
+		rig := scenarioBenchRigN(7, 5000)
+		harness.ScenarioDynamics(sc)(rig)
+		start := time.Now()
+		rig.Eng.RunUntil(10)
+		wallPerVirtual = time.Since(start).Seconds() / 10
+		executed = rig.Eng.Stats().Executed
+	}
+	b.ReportMetric(float64(executed), "events")
+	b.ReportMetric(wallPerVirtual, "wall_s_per_virtual")
 }
 
 // --- Observer streaming overhead ----------------------------------------------

@@ -19,6 +19,7 @@
 //	bulletctl compare -archive bench/ -a protocol=bulletprime -b protocol=bittorrent
 //	bulletctl report -archive bench/ -o REPORT.md
 //	bulletctl gate -archive bench/ -baseline BENCH_BASELINE.json
+//	go test -run '^$' -bench ... -benchmem ./... | bulletctl perfgate -baseline BENCH_PERF.json
 //
 // Figure output is gnuplot-style text: a summary table (best/median/p90/
 // worst download times per series) followed by the raw CDF points. Sweep
@@ -62,6 +63,7 @@ var subcommands = map[string]func(args []string, stdout, stderr io.Writer) int{
 	"compare":  runCompare,
 	"report":   runReport,
 	"gate":     runGate,
+	"perfgate": runPerfGate,
 }
 
 func usage(w io.Writer) {

@@ -260,19 +260,38 @@ func newBTPeer(s *Session, id netem.NodeID) *btPeer {
 	return p
 }
 
+// Typed timer kinds dispatched through btPeer.OnEvent.
+const (
+	evRechoke int32 = iota
+	evOptimistic
+	evReannounce
+)
+
+// OnEvent dispatches the peer's periodic typed timers (engine plumbing).
+func (p *btPeer) OnEvent(kind int32, _ any) {
+	switch kind {
+	case evRechoke:
+		p.rechoke()
+	case evOptimistic:
+		p.rotateOptimistic()
+	case evReannounce:
+		p.reannounce()
+	}
+}
+
 // bootstrap fetches the initial peer list and schedules periodic work.
 func (p *btPeer) bootstrap() {
 	p.refreshPeers()
-	p.s.rt.After(RechokeInterval, p.rechoke)
-	p.s.rt.After(OptimisticInterval, p.rotateOptimistic)
-	p.s.rt.After(AnnounceInterval, p.reannounce)
+	p.s.rt.AfterEvent(RechokeInterval, p, evRechoke, nil)
+	p.s.rt.AfterEvent(OptimisticInterval, p, evOptimistic, nil)
+	p.s.rt.AfterEvent(AnnounceInterval, p, evReannounce, nil)
 }
 
 func (p *btPeer) reannounce() {
 	if p.node.Conns() < PeerSetSize {
 		p.refreshPeers()
 	}
-	p.s.rt.After(AnnounceInterval, p.reannounce)
+	p.s.rt.AfterEvent(AnnounceInterval, p, evReannounce, nil)
 }
 
 // refreshPeers dials random tracker-provided peers up to PeerSetSize.
@@ -574,7 +593,7 @@ func (p *btPeer) rechoke() {
 		}
 		p.setChoke(bc, !want)
 	}
-	p.s.rt.After(RechokeInterval, p.rechoke)
+	p.s.rt.AfterEvent(RechokeInterval, p, evRechoke, nil)
 }
 
 func (p *btPeer) setChoke(bc *btConn, choke bool) {
@@ -603,5 +622,5 @@ func (p *btPeer) rotateOptimistic() {
 		p.optimistic = choked[p.rng.Pick(len(choked))]
 		p.setChoke(p.conns[p.optimistic], false)
 	}
-	p.s.rt.After(OptimisticInterval, p.rotateOptimistic)
+	p.s.rt.AfterEvent(OptimisticInterval, p, evOptimistic, nil)
 }

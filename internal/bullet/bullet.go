@@ -231,8 +231,25 @@ func newBPeer(s *Session, id netem.NodeID) *bPeer {
 	// Periodic reconciliation, phase-shifted per node id for determinism
 	// without synchronization artifacts.
 	phase := ReconcilePeriod * float64(int(id)%10) / 10
-	s.rt.After(ReconcilePeriod+phase, p.reconcile)
+	s.rt.AfterEvent(ReconcilePeriod+phase, p, evReconcile, nil)
 	return p
+}
+
+// Typed timer kinds dispatched through bPeer.OnEvent.
+const (
+	evReconcile int32 = iota
+	evPushPump
+)
+
+// OnEvent dispatches the peer's periodic typed timers (engine plumbing).
+func (p *bPeer) OnEvent(kind int32, _ any) {
+	switch kind {
+	case evReconcile:
+		p.reconcile()
+	case evPushPump:
+		p.pumpPending = false
+		p.pushPump()
+	}
 }
 
 func (p *bPeer) onMessage(c *proto.Conn, m proto.Message) {
@@ -277,10 +294,7 @@ func (p *bPeer) pushPump() {
 	}
 	if p.srcNext < p.s.cfg.NumBlocks && !p.pumpPending {
 		p.pumpPending = true
-		p.s.rt.After(pushPumpInterval, func() {
-			p.pumpPending = false
-			p.pushPump()
-		})
+		p.s.rt.AfterEvent(pushPumpInterval, p, evPushPump, nil)
 	}
 }
 
@@ -422,7 +436,7 @@ func (p *bPeer) reconcile() {
 			Payload: reconMsg{have: p.store.Bitmap().Clone()},
 		})
 	}
-	p.s.rt.After(ReconcilePeriod, p.reconcile)
+	p.s.rt.AfterEvent(ReconcilePeriod, p, evReconcile, nil)
 }
 
 // onHello registers a mesh receiver up to the fixed cap.

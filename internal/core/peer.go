@@ -70,7 +70,7 @@ type peer struct {
 	pushChildren []*proto.Conn
 	nextPush     int
 	pushedOnce   bool
-	pushEvent    *sim.Event
+	pushEvent    sim.EventRef
 }
 
 func newPeer(s *Session, id netem.NodeID) *peer {
@@ -264,13 +264,7 @@ func (p *peer) onDiff(c *proto.Conn, d diffMsg) {
 		// Sender had nothing new: back off before asking again instead of
 		// ping-ponging empty diffs at wire speed.
 		sp.diffReqPending = true
-		p.s.rt.After(diffReqBackoff, func() {
-			if sp.closed || p.complete {
-				return
-			}
-			sp.diffReqPending = false
-			p.fillRequests(sp)
-		})
+		p.s.rt.AfterEvent(diffReqBackoff, p, evDiffBackoff, sp)
 	}
 	p.fillRequests(sp)
 }
@@ -527,15 +521,36 @@ func (p *peer) onHello(c *proto.Conn) {
 	c.SetState(p.node, rp)
 	p.sendDiff(rp, true)
 	if period := p.s.cfg.PeriodicDiffs; period > 0 {
-		var tick func()
-		tick = func() {
-			if rp.closed {
-				return
-			}
-			p.sendDiff(rp, false)
-			p.s.rt.After(period, tick)
+		p.s.rt.AfterEvent(period, p, evPeriodicDiff, rp)
+	}
+}
+
+// Typed timer kinds dispatched through peer.OnEvent.
+const (
+	evDiffBackoff int32 = iota
+	evPeriodicDiff
+	evPushPump
+)
+
+// OnEvent dispatches the peer's typed timers (engine plumbing).
+func (p *peer) OnEvent(kind int32, payload any) {
+	switch kind {
+	case evDiffBackoff:
+		sp := payload.(*senderPeer)
+		if sp.closed || p.complete {
+			return
 		}
-		p.s.rt.After(period, tick)
+		sp.diffReqPending = false
+		p.fillRequests(sp)
+	case evPeriodicDiff:
+		rp := payload.(*receiverPeer)
+		if rp.closed {
+			return
+		}
+		p.sendDiff(rp, false)
+		p.s.rt.AfterEvent(p.s.cfg.PeriodicDiffs, p, evPeriodicDiff, rp)
+	case evPushPump:
+		p.pushPump()
 	}
 }
 

@@ -87,7 +87,7 @@ func (p *peer) pushPump() {
 		p.pushedOnce = true
 	}
 	if p.nextPush < total {
-		p.pushEvent = p.s.rt.After(pushPumpInterval, p.pushPump)
+		p.pushEvent = p.s.rt.AfterEvent(pushPumpInterval, p, evPushPump, nil)
 	}
 }
 

@@ -1,0 +1,94 @@
+package harness
+
+// The Scale5000 acceptance test: the clustered preset at 50x paper scale
+// must run a dynamic fair-share workload through the allocation-free event
+// core in bounded time. The horizon is short (the point is exercising the
+// machinery at full width, not finishing a download) and the test is exempt
+// from -short because building the dense 5000-node topology alone costs
+// seconds and ~600 MB.
+
+import (
+	"testing"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+)
+
+func TestScale5000Preset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Scale5000 is -short-exempt (builds a 5000-node dense topology)")
+	}
+	n := Scale5000.nodes(100)
+	if n != 5000 {
+		t.Fatalf("Scale5000 nodes = %d, want 5000", n)
+	}
+	const clusterSize = 25
+	topo := ClusteredTopology(n, clusterSize)(sim.NewRNG(11).Stream("topo"))
+	if topo.N != 5000 {
+		t.Fatalf("topology N = %d, want 5000", topo.N)
+	}
+	rig := NewRig(topo, 11)
+	rng := rig.Master.Stream("scale5000")
+
+	// ~1.2 restarting intra-cluster transfers per node: the fair-share load
+	// of a full-width run, kept within per-component waterfills.
+	flows := 0
+	for c := 0; c < n/clusterSize; c++ {
+		base := c * clusterSize
+		for k := 0; k < clusterSize+5; k++ {
+			src := netem.NodeID(base + rng.Intn(clusterSize))
+			dst := netem.NodeID(base + rng.Intn(clusterSize))
+			if src == dst {
+				dst = netem.NodeID(base + (int(dst)-base+1)%clusterSize)
+			}
+			f := rig.Net.NewFlow(src, dst)
+			size := rng.Uniform(1e6, 4e6)
+			var restart func()
+			restart = func() { f.Start(size, restart) }
+			restart()
+			flows++
+		}
+	}
+
+	// Dynamics: every 200 ms, halve-or-restore one cluster's links so the
+	// incremental recompute path churns during the run.
+	dynRng := rig.Master.Stream("dyn")
+	halved := make([]bool, n/clusterSize)
+	var tick func()
+	tick = func() {
+		c := dynRng.Intn(n / clusterSize)
+		base := c * clusterSize
+		factor := 0.5
+		if halved[c] {
+			factor = 2.0
+		}
+		halved[c] = !halved[c]
+		for i := 0; i < clusterSize; i++ {
+			for j := 0; j < clusterSize; j++ {
+				if i != j {
+					src, dst := netem.NodeID(base+i), netem.NodeID(base+j)
+					topo.SetCoreBW(src, dst, topo.CoreBW(src, dst)*factor)
+					rig.Net.LinkChanged(src, dst)
+				}
+			}
+		}
+		rig.Eng.After(0.2, tick)
+	}
+	rig.Eng.After(0.2, tick)
+
+	rig.Eng.RunUntil(5)
+
+	st := rig.Eng.Stats()
+	if st.Executed == 0 {
+		t.Fatal("no events executed at 5000-node scale")
+	}
+	if rig.Net.BytesServed <= 0 {
+		t.Fatal("no bytes served at 5000-node scale")
+	}
+	if rig.Net.Recomputes == 0 || rig.Net.FlowRatesSkipped == 0 {
+		t.Fatalf("incremental recompute not exercised: %d recomputes, %d skipped",
+			rig.Net.Recomputes, rig.Net.FlowRatesSkipped)
+	}
+	t.Logf("Scale5000: %d flows, %d events, %d recomputes, %.1f MB served, %.2f wall-s/virtual-s",
+		flows, st.Executed, rig.Net.Recomputes, rig.Net.BytesServed/1e6, st.WallPerVirtualSecond())
+}

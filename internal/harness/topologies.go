@@ -136,6 +136,12 @@ func CascadeTopology() func(*sim.RNG) *netem.Topology {
 // with ClusteredTopology, which is built for that size.
 var Scale1000 = Scale{Nodes: 10, File: 1}
 
+// Scale5000 runs at 50x the paper's node count — the allocation-free event
+// core's target scale. Pair it with ClusteredTopology (200 clusters of 25);
+// note the dense topology matrices cost ~600 MB at this size, so one
+// Scale5000 rig should be live at a time.
+var Scale5000 = Scale{Nodes: 50, File: 1}
+
 // ClusteredTopology is the large-scale environment for 1000-node sweeps: n
 // nodes in clusters of roughly clusterSize (default 25 when <= 0), modelling
 // co-located sites. Access links are 6 Mbps as in ModelNet; intra-cluster

@@ -1,0 +1,135 @@
+package lab
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: bulletprime/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineWheel-8      	  200000	       110.5 ns/op	      17 B/op	       0 allocs/op
+BenchmarkAllocsPerEvent 	  200000	       151.8 ns/op	         0 allocs/event	      16 B/op	       0 allocs/op
+BenchmarkScenarioTraceReplay500 	       3	 117482534 ns/op	     54473 rates_recomputed	      1064 recomputes	11339544 B/op	   14136 allocs/op
+PASS
+ok  	bulletprime/internal/sim	0.097s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	wheel := got["BenchmarkEngineWheel"] // -8 suffix stripped
+	if wheel.NsPerOp != 110.5 || wheel.AllocsPerOp != 0 {
+		t.Fatalf("EngineWheel = %+v", wheel)
+	}
+	tr := got["BenchmarkScenarioTraceReplay500"]
+	if tr.NsPerOp != 117482534 || tr.AllocsPerOp != 14136 {
+		t.Fatalf("TraceReplay500 = %+v", tr)
+	}
+}
+
+func TestParseBenchOutputErrors(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("PASS\nok x 0.1s\n")); err == nil {
+		t.Fatal("no-benchmark input must error")
+	}
+	// -benchmem missing: a bench line without allocs/op.
+	bad := "BenchmarkX-4 100 50.0 ns/op\n"
+	if _, err := ParseBenchOutput(strings.NewReader(bad)); err == nil {
+		t.Fatal("line without allocs/op must error")
+	}
+}
+
+func TestPerfGateVerdicts(t *testing.T) {
+	base := &PerfBaseline{
+		NsTolerance: 1.0, // 2x allowed
+		Benchmarks: map[string]PerfEntry{
+			"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+			"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 500},
+			"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+		},
+	}
+	measured := map[string]PerfEntry{
+		"BenchmarkA": {NsPerOp: 190, AllocsPerOp: 0},   // within 2x: ok
+		"BenchmarkB": {NsPerOp: 900, AllocsPerOp: 501}, // one extra alloc: fail
+		// BenchmarkC missing: fail
+		"BenchmarkD": {NsPerOp: 5, AllocsPerOp: 5}, // new: informational
+	}
+	results, ok := base.Gate(measured)
+	if ok {
+		t.Fatal("gate passed despite alloc regression and missing benchmark")
+	}
+	byName := map[string]PerfGateResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkA"]; r.Missing || r.NsRegressed || r.AllocRegressed || r.New {
+		t.Fatalf("A should pass: %+v", r)
+	}
+	if r := byName["BenchmarkB"]; !r.AllocRegressed {
+		t.Fatalf("B should fail on allocs: %+v", r)
+	}
+	if r := byName["BenchmarkC"]; !r.Missing {
+		t.Fatalf("C should be missing: %+v", r)
+	}
+	if r := byName["BenchmarkD"]; !r.New {
+		t.Fatalf("D should be new: %+v", r)
+	}
+	rendered := RenderPerfGate(results, ok)
+	for _, want := range []string{"ALLOCS REGRESSED", "MISSING", "new", "perf gate FAILED"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered gate missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestPerfGateNsRegression(t *testing.T) {
+	base := &PerfBaseline{
+		NsTolerance: 0.5,
+		Benchmarks:  map[string]PerfEntry{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 7}},
+	}
+	// 2.1x slower with identical allocs: must trip the ns limit.
+	results, ok := base.Gate(map[string]PerfEntry{"BenchmarkA": {NsPerOp: 210, AllocsPerOp: 7}})
+	if ok || !results[0].NsRegressed {
+		t.Fatalf("ns regression not caught: %+v ok=%v", results, ok)
+	}
+	// Faster run with fewer allocs passes.
+	if _, ok := base.Gate(map[string]PerfEntry{"BenchmarkA": {NsPerOp: 50, AllocsPerOp: 0}}); !ok {
+		t.Fatal("improvement failed the gate")
+	}
+}
+
+func TestPerfBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_PERF.json")
+	measured, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerfBaselineFrom(measured, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPerfBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NsTolerance != 1.5 || len(loaded.Benchmarks) != 3 {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+	if _, ok := loaded.Gate(measured); !ok {
+		t.Fatal("identical measurements must pass their own baseline")
+	}
+	if _, err := LoadPerfBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

@@ -2,7 +2,7 @@ package netem
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"bulletprime/internal/sim"
 )
@@ -13,6 +13,14 @@ import (
 // conservative provisional rate until the next recomputation, which mirrors
 // the convergence time of real TCP after cross-traffic changes.
 const DefaultRecomputeInterval = 0.025
+
+// Typed-event kinds dispatched through Network.OnEvent. The network is the
+// single sim.Handler for the whole emulator: flow completions carry their
+// *Flow as payload, so scheduling an event allocates nothing.
+const (
+	evRecompute int32 = iota
+	evFlowComplete
+)
 
 // Network emulates the configured topology for a set of flows. It is driven
 // entirely by the simulation engine; all methods must be called from engine
@@ -37,6 +45,12 @@ type Network struct {
 	lastRun sim.Time
 	haveRun bool
 
+	// busyOut/busyIn count busy flows per access endpoint, maintained on
+	// busy transitions so provisional rates cost O(1) instead of a scan of
+	// every flow.
+	busyOut []int32
+	busyIn  []int32
+
 	// Incremental state: the cached flow↔resource sharing graph (partition
 	// into connected components) and the resource keys dirtied since the
 	// last recomputation. A key is one side of a node's access link; core
@@ -48,6 +62,20 @@ type Network struct {
 	dirtyIn        map[NodeID]struct{}
 	dirtyAll       bool
 	dirtyMark      []bool // per-component scratch, reused across recomputations
+
+	// Waterfiller scratch, reused across recomputations so the steady
+	// state allocates nothing (see fairShare).
+	fsRates     []float64
+	fsCaps      []float64
+	fsFrozen    []bool
+	fsResources []resource
+	fsResIdx    map[int]int
+	fsFlowRes   [][]int
+	fsPairCount map[int]int
+	fsActive    []*Flow
+	fsCapOrder  []int32
+	fsGrp       []int32
+	fsSatHeap   []satEntry
 
 	// Recomputes counts fair-share recomputations, for tests and profiling.
 	Recomputes uint64
@@ -70,10 +98,32 @@ func New(eng *sim.Engine, topo *Topology, rng *sim.RNG) *Network {
 		RecomputeInterval: DefaultRecomputeInterval,
 		rng:               rng,
 		flows:             make(map[int]*Flow),
+		busyOut:           make([]int32, topo.N),
+		busyIn:            make([]int32, topo.N),
 		partitionStale:    true,
 		dirtyOut:          make(map[NodeID]struct{}),
 		dirtyIn:           make(map[NodeID]struct{}),
+		fsResIdx:          make(map[int]int),
+		fsPairCount:       make(map[int]int),
 	}
+}
+
+// OnEvent dispatches the network's typed engine events; it is part of the
+// engine plumbing, not the public emulator API.
+func (n *Network) OnEvent(kind int32, payload any) {
+	switch kind {
+	case evRecompute:
+		n.recompute()
+	case evFlowComplete:
+		payload.(*Flow).complete()
+	}
+}
+
+// Completer receives flow-completion callbacks without a per-transfer
+// closure: the transport passes itself plus an opaque arg (typically the
+// pooled message being serialized) to Flow.StartTo.
+type Completer interface {
+	FlowDone(f *Flow, arg any)
 }
 
 // Flow is one direction of a transport connection: a FIFO server that
@@ -94,8 +144,10 @@ type Flow struct {
 	remaining  float64
 	rate       float64
 	lastUpdate sim.Time
-	completion *sim.Event
+	completion sim.EventRef
 	done       func()
+	doneTo     Completer
+	doneArg    any
 
 	// Served is the total bytes fully serialized on this flow.
 	Served float64
@@ -132,6 +184,21 @@ func (f *Flow) Busy() bool { return f.busy }
 // Rate returns the currently allocated service rate in bytes/second.
 func (f *Flow) Rate() float64 { return f.rate }
 
+// setBusy flips the busy flag and maintains the per-endpoint busy counters.
+func (f *Flow) setBusy(b bool) {
+	if f.busy == b {
+		return
+	}
+	f.busy = b
+	if b {
+		f.net.busyOut[f.src]++
+		f.net.busyIn[f.dst]++
+	} else {
+		f.net.busyOut[f.src]--
+		f.net.busyIn[f.dst]--
+	}
+}
+
 // Close removes the flow. Any in-progress transfer is abandoned without its
 // done callback firing.
 func (f *Flow) Close() {
@@ -139,12 +206,12 @@ func (f *Flow) Close() {
 		return
 	}
 	f.open = false
-	f.busy = false
+	f.setBusy(false)
 	f.done = nil
-	if f.completion != nil {
-		f.completion.Cancel()
-		f.completion = nil
-	}
+	f.doneTo = nil
+	f.doneArg = nil
+	f.completion.Cancel()
+	f.completion = sim.EventRef{}
 	delete(f.net.flows, f.id)
 	f.net.flowChurn(f)
 }
@@ -154,6 +221,20 @@ func (f *Flow) Close() {
 // caller owns the queue. Propagation delay is the caller's concern (use
 // Topology.OneWayDelay), which lets the transport enforce in-order delivery.
 func (f *Flow) Start(bytes float64, done func()) {
+	f.start(bytes)
+	f.done = done
+}
+
+// StartTo is the allocation-free form of Start: on completion the network
+// calls to.FlowDone(f, arg) instead of a closure. The transport layer uses
+// it with the pooled message node as arg.
+func (f *Flow) StartTo(bytes float64, to Completer, arg any) {
+	f.start(bytes)
+	f.doneTo = to
+	f.doneArg = arg
+}
+
+func (f *Flow) start(bytes float64) {
 	if !f.open {
 		panic("netem: Start on closed flow")
 	}
@@ -163,9 +244,11 @@ func (f *Flow) Start(bytes float64, done func()) {
 	if bytes <= 0 {
 		bytes = 1
 	}
-	f.busy = true
+	f.setBusy(true)
 	f.remaining = bytes
-	f.done = done
+	f.done = nil
+	f.doneTo = nil
+	f.doneArg = nil
 	f.lastUpdate = f.net.Eng.Now()
 	// Provisional rate until the next recomputation: the flow's static cap
 	// split evenly with currently active flows on the shared access links.
@@ -215,10 +298,8 @@ func (f *Flow) capNow(now sim.Time) (cap float64, ssBinding bool) {
 const completeEps = 1e-3
 
 func (f *Flow) scheduleCompletion() {
-	if f.completion != nil {
-		f.completion.Cancel()
-		f.completion = nil
-	}
+	f.completion.Cancel()
+	f.completion = sim.EventRef{}
 	if !f.busy {
 		return
 	}
@@ -227,7 +308,7 @@ func (f *Flow) scheduleCompletion() {
 		return
 	}
 	dt := f.remaining / f.rate
-	f.completion = f.net.Eng.After(dt, f.complete)
+	f.completion = f.net.Eng.AfterEvent(dt, f.net, evFlowComplete, f)
 }
 
 func (f *Flow) complete() {
@@ -241,13 +322,17 @@ func (f *Flow) complete() {
 		f.scheduleCompletion()
 		return
 	}
-	f.busy = false
-	f.completion = nil
-	done := f.done
+	f.setBusy(false)
+	f.completion = sim.EventRef{}
+	done, doneTo, doneArg := f.done, f.doneTo, f.doneArg
 	f.done = nil
+	f.doneTo = nil
+	f.doneArg = nil
 	f.net.flowChurn(f)
 	if done != nil {
 		done()
+	} else if doneTo != nil {
+		doneTo.FlowDone(f, doneArg)
 	}
 }
 
@@ -273,20 +358,11 @@ func (f *Flow) advance(now sim.Time) {
 
 // provisionalRate estimates a fair rate for a newly started transfer without
 // a full recomputation: the flow's cap divided among active flows sharing
-// its access links.
+// its access links. The per-endpoint busy counters (which include f itself,
+// marked busy by start) make this O(1).
 func (n *Network) provisionalRate(f *Flow) float64 {
-	outN, inN := 1, 1
-	for _, g := range n.flows {
-		if g == f || !g.busy {
-			continue
-		}
-		if g.src == f.src {
-			outN++
-		}
-		if g.dst == f.dst {
-			inN++
-		}
-	}
+	outN := int(n.busyOut[f.src])
+	inN := int(n.busyIn[f.dst])
 	cap, _ := f.capNow(n.Eng.Now())
 	r := cap
 	if s := n.Topo.AccessOut[f.src] / float64(outN); s < r {
@@ -314,7 +390,7 @@ func (n *Network) markDirty() {
 			at = earliest
 		}
 	}
-	n.Eng.Schedule(at, n.recompute)
+	n.Eng.ScheduleEvent(at, n, evRecompute, nil)
 }
 
 // touch marks the flow's access-link endpoints dirty: the next recomputation
@@ -422,6 +498,22 @@ func (n *Network) waterfillGroup(flows []*Flow, now sim.Time) (anySS bool) {
 	return anySS
 }
 
+// activeFlows fills the reusable scratch slice with the open, busy flows
+// sorted by id. Map iteration order is randomized; sorting makes float
+// accumulation order (and therefore every downstream rate bit)
+// deterministic per seed.
+func (n *Network) activeFlows() []*Flow {
+	active := n.fsActive[:0]
+	for _, f := range n.flows {
+		if f.open && f.busy {
+			active = append(active, f)
+		}
+	}
+	slices.SortFunc(active, func(a, b *Flow) int { return a.id - b.id })
+	n.fsActive = active
+	return active
+}
+
 // recomputeFull is the original global pass: every active flow is advanced
 // and re-waterfilled, regardless of what changed.
 func (n *Network) recomputeFull(now sim.Time) {
@@ -429,19 +521,10 @@ func (n *Network) recomputeFull(now sim.Time) {
 	clear(n.dirtyOut)
 	clear(n.dirtyIn)
 
-	active := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		if f.open && f.busy {
-			active = append(active, f)
-		}
-	}
+	active := n.activeFlows()
 	if len(active) == 0 {
 		return
 	}
-	// Map iteration order is randomized; sort so float accumulation order
-	// (and therefore every downstream rate bit) is deterministic per seed.
-	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
-
 	if n.waterfillGroup(active, now) {
 		n.markDirty()
 	}
@@ -465,14 +548,14 @@ func (n *Network) recomputeIncremental(now sim.Time) {
 		mark[i] = false
 	}
 	// The reverse index makes dirty detection O(|dirty endpoints|), not
-	// O(active flows); endpoints with no active flow simply don't resolve.
+	// O(active flows); endpoints with no active flow resolve to -1.
 	for node := range n.dirtyOut {
-		if ci, ok := part.bySrc[node]; ok {
+		if ci := part.bySrc[node]; ci >= 0 {
 			mark[ci] = true
 		}
 	}
 	for node := range n.dirtyIn {
-		if ci, ok := part.byDst[node]; ok {
+		if ci := part.byDst[node]; ci >= 0 {
 			mark[ci] = true
 		}
 	}
@@ -481,12 +564,13 @@ func (n *Network) recomputeIncremental(now sim.Time) {
 
 	anySS := false
 	recomputed := 0
-	for ci, comp := range part.comps {
+	for ci := range part.comps {
 		if !mark[ci] {
 			continue
 		}
-		recomputed += len(comp.flows)
-		if n.waterfillGroup(comp.flows, now) {
+		flows := part.comps[ci].flows
+		recomputed += len(flows)
+		if n.waterfillGroup(flows, now) {
 			anySS = true
 		}
 	}
@@ -510,25 +594,38 @@ type resource struct {
 // progressive filling with per-flow caps: every unfrozen flow's rate rises
 // with a common water level; a flow freezes when the level reaches its cap,
 // and when a shared link saturates all its unfrozen flows freeze at the
-// current level.
+// current level. All working storage is engine-lifetime scratch reused
+// across calls; the returned slice is valid until the next call.
 func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anySS bool) {
 	nf := len(active)
-	rates = make([]float64, nf)
-	caps := make([]float64, nf)
-	frozen := make([]bool, nf)
+	rates = sizeFloats(&n.fsRates, nf)
+	caps := sizeFloats(&n.fsCaps, nf)
+	frozen := sizeBools(&n.fsFrozen, nf)
 
-	var resources []*resource
-	resIdx := make(map[int]int)
-	flowRes := make([][]int, nf) // resource indices per flow
+	resources := n.fsResources[:0]
+	resIdx := n.fsResIdx
+	clear(resIdx)
+	if cap(n.fsFlowRes) < nf {
+		n.fsFlowRes = append(n.fsFlowRes[:cap(n.fsFlowRes)], make([][]int, nf-cap(n.fsFlowRes))...)
+	}
+	flowRes := n.fsFlowRes[:nf] // resource indices per flow
+	for i := range flowRes {
+		flowRes[i] = flowRes[i][:0]
+	}
 
-	addToResource := func(key int, cap float64, fi int) {
+	addToResource := func(key int, capacity float64, fi int) {
 		ri, ok := resIdx[key]
 		if !ok {
 			ri = len(resources)
-			resources = append(resources, &resource{cap: cap})
+			if ri < cap(resources) {
+				resources = resources[:ri+1]
+				resources[ri] = resource{cap: capacity, flows: resources[ri].flows[:0]}
+			} else {
+				resources = append(resources, resource{cap: capacity})
+			}
 			resIdx[key] = ri
 		}
-		r := resources[ri]
+		r := &resources[ri]
 		r.nUnfrozen++
 		r.flows = append(r.flows, fi)
 		flowRes[fi] = append(flowRes[fi], ri)
@@ -536,7 +633,8 @@ func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anyS
 
 	// Group flows by ordered pair: a core link with 2+ flows becomes a
 	// shared resource; with a single flow it is just a cap (cheaper).
-	pairCount := make(map[int]int, nf)
+	pairCount := n.fsPairCount
+	clear(pairCount)
 	for _, f := range active {
 		pairCount[int(f.src)*n.Topo.N+int(f.dst)]++
 	}
@@ -557,9 +655,41 @@ func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anyS
 			}
 		}
 	}
+	n.fsResources = resources
 
+	// The progressive filling below is event-driven rather than
+	// scan-per-round, but it reproduces the original O(n²) scans
+	// bit-for-bit: the same freeze order, the same float accumulation
+	// order, the same tie-breaks.
+	//
+	//   - The next cap event is read from a (cap, flow-index)-sorted order
+	//     instead of a min-scan; the set of flows within the eps band and
+	//     their ascending-index freeze order are reconstructed exactly.
+	//   - The next saturation event comes from a lazy min-heap of
+	//     (sat, resource-index) entries. Every mutation of a resource
+	//     pushes a fresh entry, so the heap always contains each live
+	//     resource's current saturation level; stale entries are discarded
+	//     by recomputing sat (bit-identical floats) at pop time. The
+	//     lexicographic order reproduces the scan's lowest-index tie-break.
 	unfrozen := nf
 	level := 0.0
+
+	satHeap := n.fsSatHeap[:0]
+	pushSat := func(ri int32) {
+		r := &resources[ri]
+		if r.nUnfrozen == 0 {
+			return
+		}
+		headroom := r.cap - r.frozenUse
+		if headroom < 0 {
+			headroom = 0
+		}
+		satHeap = satHeapPush(satHeap, satEntry{sat: headroom / float64(r.nUnfrozen), ri: ri})
+	}
+	for ri := range resources {
+		pushSat(int32(ri))
+	}
+
 	freeze := func(fi int, rate float64) {
 		if frozen[fi] {
 			return
@@ -568,52 +698,88 @@ func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anyS
 		rates[fi] = rate
 		unfrozen--
 		for _, ri := range flowRes[fi] {
-			r := resources[ri]
+			r := &resources[ri]
 			r.nUnfrozen--
 			r.frozenUse += rate
+			pushSat(int32(ri))
 		}
 	}
 
+	capOrder := sizeInts(&n.fsCapOrder, nf)
+	for i := range capOrder {
+		capOrder[i] = int32(i)
+	}
+	slices.SortFunc(capOrder, func(a, b int32) int {
+		if caps[a] != caps[b] {
+			if caps[a] < caps[b] {
+				return -1
+			}
+			return 1
+		}
+		return int(a - b)
+	})
+	capPtr := 0
+
 	const eps = 1e-9
 	for unfrozen > 0 {
-		// Next cap event.
-		minCap := math.Inf(1)
-		for i := 0; i < nf; i++ {
-			if !frozen[i] && caps[i] < minCap {
-				minCap = caps[i]
-			}
+		// Next cap event: the first unfrozen flow in cap order.
+		for capPtr < nf && frozen[capOrder[capPtr]] {
+			capPtr++
 		}
-		// Next resource saturation event.
+		minCap := math.Inf(1)
+		if capPtr < nf {
+			minCap = caps[capOrder[capPtr]]
+		}
+		// Next resource saturation event: discard stale heap entries (the
+		// resource drained, or its sat moved since the entry was pushed).
 		minSat := math.Inf(1)
 		satRes := -1
-		for ri, r := range resources {
+		for len(satHeap) > 0 {
+			top := satHeap[0]
+			r := &resources[top.ri]
 			if r.nUnfrozen == 0 {
+				satHeap = satHeapPop(satHeap)
 				continue
 			}
 			headroom := r.cap - r.frozenUse
 			if headroom < 0 {
 				headroom = 0
 			}
-			sat := headroom / float64(r.nUnfrozen)
-			// sat is the level at which r saturates given current freezes.
-			if sat < minSat {
-				minSat = sat
-				satRes = ri
+			if sat := headroom / float64(r.nUnfrozen); sat != top.sat {
+				satHeap = satHeapPop(satHeap)
+				continue
 			}
+			minSat = top.sat
+			satRes = int(top.ri)
+			break
 		}
 
 		if minCap <= minSat+eps && !math.IsInf(minCap, 1) {
 			level = minCap
-			for i := 0; i < nf; i++ {
-				if !frozen[i] && caps[i] <= minCap+eps {
-					freeze(i, caps[i])
+			// Collect the unfrozen flows inside the eps band (contiguous
+			// in cap order) and freeze them in ascending flow index, as
+			// the original full scan did.
+			grp := n.fsGrp[:0]
+			for p := capPtr; p < nf; p++ {
+				fi := capOrder[p]
+				if frozen[fi] {
+					continue
 				}
+				if caps[fi] > minCap+eps {
+					break
+				}
+				grp = append(grp, fi)
 			}
+			insertionSortInts(grp)
+			for _, fi := range grp {
+				freeze(int(fi), caps[fi])
+			}
+			n.fsGrp = grp[:0]
 			continue
 		}
 		if satRes >= 0 && !math.IsInf(minSat, 1) {
 			level = minSat
-			r := resources[satRes]
+			r := &resources[satRes]
 			for _, fi := range r.flows {
 				if !frozen[fi] {
 					rate := level
@@ -633,5 +799,105 @@ func (n *Network) fairShare(active []*Flow, now sim.Time) (rates []float64, anyS
 		}
 	}
 	_ = level
+	n.fsSatHeap = satHeap[:0]
 	return rates, anySS
+}
+
+// satEntry is one lazy saturation-heap entry; see fairShare.
+type satEntry struct {
+	sat float64
+	ri  int32
+}
+
+func satLess(a, b satEntry) bool {
+	if a.sat != b.sat {
+		return a.sat < b.sat
+	}
+	return a.ri < b.ri
+}
+
+func satHeapPush(h []satEntry, e satEntry) []satEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !satLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func satHeapPop(h []satEntry) []satEntry {
+	nh := len(h) - 1
+	h[0] = h[nh]
+	h = h[:nh]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < nh && satLess(h[l], h[small]) {
+			small = l
+		}
+		if r < nh && satLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return h
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// insertionSortInts sorts ascending without allocating; eps bands are tiny.
+func insertionSortInts(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// sizeInts resizes a reusable int32 scratch slice without zeroing.
+func sizeInts(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// sizeFloats resizes a reusable float scratch slice, zeroing the active
+// prefix.
+func sizeFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	out := (*s)[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	*s = out
+	return out
+}
+
+// sizeBools resizes a reusable bool scratch slice, zeroing the active
+// prefix.
+func sizeBools(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+	}
+	out := (*s)[:n]
+	for i := range out {
+		out[i] = false
+	}
+	*s = out
+	return out
 }

@@ -1,7 +1,5 @@
 package netem
 
-import "sort"
-
 // The incremental fair-share scheme rests on a structural fact about max-min
 // allocation: two flows can only influence each other's rates through a
 // chain of shared resources. Every resource in this emulator — a node's
@@ -21,43 +19,61 @@ type component struct {
 }
 
 // partition is the cached decomposition of the active-flow set into
-// connected components, rebuilt only when flow membership changes. bySrc
-// and byDst index each endpoint to the single component containing its
-// flows, so dirty detection costs one probe per dirtied endpoint.
+// connected components, rebuilt (in place, reusing all storage) only when
+// flow membership changes. bySrc and byDst index each endpoint to the
+// single component containing its flows (-1 for none), so dirty detection
+// costs one probe per dirtied endpoint.
 type partition struct {
-	comps []*component
-	bySrc map[NodeID]int
-	byDst map[NodeID]int
+	comps []component
+	bySrc []int32 // per-node component index, -1 when no active flow
+	byDst []int32
 	total int // active flows across all components
+
+	parent []int32 // union-find scratch, flow-indexed
+	byRoot []int32 // root flow index -> component index scratch
 }
 
 // buildPartition groups the currently active flows into connected components
 // with a union-find keyed on flow endpoints: flows sharing a source (one
 // outbound access link) or a destination (one inbound access link) are
 // joined. Core-link sharing needs no extra edges — same-pair flows already
-// share both endpoints.
+// share both endpoints. The partition object and all its slices are reused
+// across rebuilds, so steady-state churn allocates nothing.
 func (n *Network) buildPartition() *partition {
-	active := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		if f.open && f.busy {
-			active = append(active, f)
-		}
-	}
-	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+	active := n.activeFlows()
 
-	parent := make([]int, len(active))
-	for i := range parent {
-		parent[i] = i
+	p := n.part
+	if p == nil {
+		p = &partition{}
+		n.part = p
 	}
-	var find func(int) int
-	find = func(x int) int {
+	nn := n.Topo.N
+	if cap(p.bySrc) < nn {
+		p.bySrc = make([]int32, nn)
+		p.byDst = make([]int32, nn)
+	}
+	p.bySrc = p.bySrc[:nn]
+	p.byDst = p.byDst[:nn]
+	for i := range p.bySrc {
+		p.bySrc[i] = -1
+		p.byDst[i] = -1
+	}
+	parent := sizeInts(&p.parent, len(active))
+	byRoot := sizeInts(&p.byRoot, len(active))
+	for i := range parent {
+		parent[i] = int32(i)
+		byRoot[i] = -1
+	}
+	p.total = len(active)
+
+	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	union := func(a, b int) {
+	union := func(a, b int32) {
 		ra, rb := find(a), find(b)
 		if ra != rb {
 			// Attach the larger root index under the smaller so the
@@ -69,42 +85,47 @@ func (n *Network) buildPartition() *partition {
 		}
 	}
 
-	bySrc := make(map[NodeID]int)
-	byDst := make(map[NodeID]int)
+	// First pass: union via the endpoint index arrays (bySrc/byDst double
+	// as "first flow seen at this endpoint" during this pass).
 	for i, f := range active {
-		if j, ok := bySrc[f.src]; ok {
-			union(i, j)
+		if j := p.bySrc[f.src]; j >= 0 {
+			union(int32(i), j)
 		} else {
-			bySrc[f.src] = i
+			p.bySrc[f.src] = int32(i)
 		}
-		if j, ok := byDst[f.dst]; ok {
-			union(i, j)
+		if j := p.byDst[f.dst]; j >= 0 {
+			union(int32(i), j)
 		} else {
-			byDst[f.dst] = i
+			p.byDst[f.dst] = int32(i)
 		}
 	}
 
-	p := &partition{
-		bySrc: make(map[NodeID]int, len(bySrc)),
-		byDst: make(map[NodeID]int, len(byDst)),
-		total: len(active),
+	// Second pass: materialize components in order of their lowest flow id
+	// (roots are lowest flow indices and active is id-sorted), reusing the
+	// flows slices, and overwrite bySrc/byDst with component indices.
+	for i := range p.comps {
+		p.comps[i].flows = p.comps[i].flows[:0]
 	}
-	byRoot := make(map[int]int)
+	p.comps = p.comps[:0]
 	for i, f := range active {
-		r := find(i)
-		ci, ok := byRoot[r]
-		if !ok {
-			ci = len(p.comps)
+		r := find(int32(i))
+		ci := byRoot[r]
+		if ci < 0 {
+			ci = int32(len(p.comps))
 			byRoot[r] = ci
-			p.comps = append(p.comps, &component{})
+			if int(ci) < cap(p.comps) {
+				p.comps = p.comps[:ci+1]
+				p.comps[ci].flows = p.comps[ci].flows[:0]
+			} else {
+				p.comps = append(p.comps, component{})
+			}
 		}
-		c := p.comps[ci]
+		c := &p.comps[ci]
 		c.flows = append(c.flows, f)
 		p.bySrc[f.src] = ci
 		p.byDst[f.dst] = ci
 	}
-	// Roots are lowest flow indices and active is id-sorted, so comps appear
-	// in order of their lowest flow id and each comp's flows stay id-sorted:
-	// the whole structure is deterministic per seed.
+	// The whole structure is deterministic per seed: component order follows
+	// lowest flow id and each component's flows stay id-sorted.
 	return p
 }

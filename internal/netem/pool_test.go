@@ -1,0 +1,132 @@
+package netem
+
+// Guard tests for the emulator's pooled machinery: completion events ride
+// recycled engine nodes (stale handles must be inert), the waterfiller's
+// scratch is reused across recomputations (results must not alias), and
+// the busy-flow counters behind O(1) provisional rates must track every
+// transition.
+
+import (
+	"testing"
+
+	"bulletprime/internal/sim"
+)
+
+func guardNet(t *testing.T, n int) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	topo := NewTopology(n)
+	topo.SetUniformAccess(Mbps(10), Mbps(10), MS(1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				topo.SetCoreBW(NodeID(i), NodeID(j), Mbps(10))
+				topo.SetCoreDelay(NodeID(i), NodeID(j), MS(1))
+			}
+		}
+	}
+	return eng, New(eng, topo, sim.NewRNG(3).Stream("net"))
+}
+
+// TestStaleCompletionHandleInert pins the use-after-return guard for flow
+// completion events: after a transfer completes, the engine node behind its
+// completion event is recycled; the flow's stale handle (still held in the
+// struct until the next Start) must not be able to cancel whatever event
+// reused the node.
+func TestStaleCompletionHandleInert(t *testing.T) {
+	eng, net := guardNet(t, 2)
+	f := net.NewFlow(0, 1)
+	done := 0
+	f.Start(1000, func() { done++ })
+	eng.RunUntil(10)
+	if done != 1 {
+		t.Fatalf("transfer did not complete (done=%d)", done)
+	}
+	stale := f.completion // zeroed ref after completion
+	stale.Cancel()
+	if stale.Cancelled() {
+		t.Fatal("stale completion handle cancelled something")
+	}
+	// A second transfer must complete even after the stale cancel.
+	f.Start(1000, func() { done++ })
+	stale.Cancel() // stale again, against the live completion's node
+	eng.RunUntil(20)
+	if done != 2 {
+		t.Fatalf("stale handle killed the new completion (done=%d)", done)
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	eng, net := guardNet(t, 2)
+	f := net.NewFlow(0, 1)
+	f.Start(1e9, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start on busy flow did not panic")
+		}
+	}()
+	f.Start(1, nil)
+	_ = eng
+}
+
+func TestStartAfterClosePanics(t *testing.T) {
+	_, net := guardNet(t, 2)
+	f := net.NewFlow(0, 1)
+	f.Close()
+	f.Close() // double close is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start on closed flow did not panic")
+		}
+	}()
+	f.Start(1, nil)
+}
+
+// TestBusyCountersBalanced drives starts, completions, closes and restarts
+// and requires the per-endpoint busy counters to return to zero — the
+// counters feed provisionalRate, so drift would skew admitted rates.
+func TestBusyCountersBalanced(t *testing.T) {
+	eng, net := guardNet(t, 4)
+	for i := 0; i < 3; i++ {
+		f := net.NewFlow(NodeID(i), NodeID(i+1))
+		f.Start(1000, nil)
+	}
+	abandoned := net.NewFlow(3, 0)
+	abandoned.Start(1e12, nil)
+	eng.RunUntil(1)
+	abandoned.Close()
+	eng.RunUntil(2)
+	for i, c := range net.busyOut {
+		if c != 0 {
+			t.Fatalf("busyOut[%d] = %d after all flows ended, want 0", i, c)
+		}
+	}
+	for i, c := range net.busyIn {
+		if c != 0 {
+			t.Fatalf("busyIn[%d] = %d after all flows ended, want 0", i, c)
+		}
+	}
+}
+
+// TestFairShareScratchNoAliasing recomputes two disjoint components in one
+// incremental pass and checks the second waterfill does not clobber the
+// first's assigned rates through the shared scratch slices.
+func TestFairShareScratchNoAliasing(t *testing.T) {
+	eng, net := guardNet(t, 4)
+	// Two disjoint components: 0->1 (two flows share access) and 2->3.
+	a1 := net.NewFlow(0, 1)
+	a2 := net.NewFlow(0, 1)
+	b1 := net.NewFlow(2, 3)
+	a1.Start(1e9, nil)
+	a2.Start(1e9, nil)
+	b1.Start(1e9, nil)
+	eng.RunUntil(1)
+	// Shared access link 10 Mbps: the a-flows split it; b gets it all.
+	half := Mbps(10) / 2
+	if a1.Rate() != half || a2.Rate() != half {
+		t.Fatalf("shared component rates = %v, %v, want %v", a1.Rate(), a2.Rate(), half)
+	}
+	if b1.Rate() != Mbps(10) {
+		t.Fatalf("isolated component rate = %v, want %v", b1.Rate(), Mbps(10))
+	}
+}

@@ -10,6 +10,14 @@
 // behind queued 16 KB blocks exactly as they would inside a TCP socket
 // buffer — the effect Bullet's flow control (§3.3.3) and the request
 // strategy comparison (§4.3) depend on.
+//
+// The send/deliver hot path is allocation-free in the steady state: queued
+// messages live in per-runtime pooled nodes (returned to the pool at
+// delivery), each half's queue is a reusable ring, and serialization and
+// delivery are typed engine events rather than closures. Ownership rule:
+// the runtime owns message nodes from Send until the delivery callback is
+// entered; handlers receive a value copy of the Message, and any Payload
+// object remains caller-owned throughout.
 package proto
 
 import (
@@ -32,6 +40,13 @@ type Message struct {
 // MsgOverhead is the per-message framing overhead in bytes charged on the
 // wire (type, length, and protocol header fields).
 const MsgOverhead = 48
+
+// msgNode is a pooled queue slot for one in-flight message.
+type msgNode struct {
+	m      Message
+	pooled bool // double-free guard
+	next   *msgNode
+}
 
 // Node is a protocol endpoint. Protocol packages set the three callbacks
 // and attach their own per-node state via State.
@@ -82,6 +97,9 @@ type Runtime struct {
 	// instantaneous aggregate goodput. Nil (the default) costs the
 	// delivery path nothing but a nil check.
 	DataMeter *trace.RateMeter
+
+	msgFree *msgNode // message-node pool
+	msgLen  int
 }
 
 // NewRuntime creates a runtime over the given emulated network.
@@ -93,6 +111,35 @@ func NewRuntime(eng *sim.Engine, net *netem.Network) *Runtime {
 		MeterBucket: 1.0,
 		MeterSlots:  32,
 	}
+}
+
+// getMsg draws a message node from the pool and fills it with m.
+func (rt *Runtime) getMsg(m Message) *msgNode {
+	n := rt.msgFree
+	if n != nil {
+		rt.msgFree = n.next
+		rt.msgLen--
+		n.next = nil
+		n.pooled = false
+	} else {
+		n = &msgNode{}
+	}
+	n.m = m
+	return n
+}
+
+// putMsg returns a node to the pool. Returning a node twice is a
+// programming error that would silently alias two queued messages, so it
+// panics.
+func (rt *Runtime) putMsg(n *msgNode) {
+	if n.pooled {
+		panic("proto: message node returned to pool twice")
+	}
+	n.pooled = true
+	n.m = Message{} // drop payload reference; the value was handed off
+	n.next = rt.msgFree
+	rt.msgFree = n
+	rt.msgLen++
 }
 
 // NewNode registers a node at the given topology address.
@@ -118,7 +165,13 @@ func (rt *Runtime) Node(id netem.NodeID) *Node { return rt.nodes[id] }
 func (rt *Runtime) Now() sim.Time { return rt.Eng.Now() }
 
 // After schedules fn after d seconds of virtual time.
-func (rt *Runtime) After(d float64, fn func()) *sim.Event { return rt.Eng.After(d, fn) }
+func (rt *Runtime) After(d float64, fn func()) sim.EventRef { return rt.Eng.After(d, fn) }
+
+// AfterEvent schedules a typed event after d seconds of virtual time; the
+// allocation-free timer form protocols use for their periodic work.
+func (rt *Runtime) AfterEvent(d float64, h sim.Handler, kind int32, payload any) sim.EventRef {
+	return rt.Eng.AfterEvent(d, h, kind, payload)
+}
 
 // Conns returns the number of open connections on n.
 func (n *Node) Conns() int { return len(n.conns) }
@@ -148,12 +201,15 @@ func (n *Node) Fail() {
 // Dead reports whether Fail has been called.
 func (n *Node) Dead() bool { return n.dead }
 
-// half is one direction of a connection.
+// half is one direction of a connection. It implements sim.Handler (typed
+// pump/delivery events) and netem.Completer (serialization completion), so
+// the steady-state data path schedules no closures.
 type half struct {
 	conn        *Conn
 	from, to    *Node
 	flow        *netem.Flow
-	queue       []Message
+	queue       []*msgNode // ring: live elements are queue[qHead:]
+	qHead       int
 	queuedBytes float64
 
 	lastDelivery sim.Time // in-order delivery floor
@@ -161,6 +217,15 @@ type half struct {
 	delivered    float64  // wire bytes fully delivered
 	pumpPending  bool
 }
+
+// Typed-event kinds for half (evDeliver, evPumpReady) and Conn (evAccept,
+// evPeerClose).
+const (
+	evDeliver int32 = iota
+	evPumpReady
+	evAccept
+	evPeerClose
+)
 
 // Conn is a bidirectional reliable connection between two nodes.
 type Conn struct {
@@ -209,12 +274,24 @@ func (n *Node) Dial(to netem.NodeID) *Conn {
 	n.conns[c] = struct{}{}
 	remote.conns[c] = struct{}{}
 	oneWay := n.rt.Net.Topo.OneWayDelay(n.ID, to)
-	n.rt.Eng.After(oneWay, func() {
-		if !c.closed && remote.OnAccept != nil {
-			remote.OnAccept(c)
-		}
-	})
+	n.rt.Eng.AfterEvent(oneWay, c, evAccept, nil)
 	return c
+}
+
+// OnEvent dispatches the connection-level typed events (accept and remote
+// close notification); engine plumbing, not public API.
+func (c *Conn) OnEvent(kind int32, payload any) {
+	switch kind {
+	case evAccept:
+		if !c.closed && c.target.OnAccept != nil {
+			c.target.OnAccept(c)
+		}
+	case evPeerClose:
+		other := payload.(*Node)
+		if other.OnClose != nil {
+			other.OnClose(c)
+		}
+	}
 }
 
 // Dialer returns the node that opened the connection.
@@ -272,16 +349,46 @@ func (c *Conn) Send(n *Node, m Message) {
 		m.Size += MsgOverhead
 	}
 	h := c.dir(n)
-	h.queue = append(h.queue, m)
+	h.pushMsg(c.rt.getMsg(m))
 	h.queuedBytes += m.Size
 	h.pump()
 }
+
+// pushMsg appends to the ring, compacting the drained prefix when the ring
+// empties so steady-state traffic reuses one backing array.
+func (h *half) pushMsg(n *msgNode) {
+	h.queue = append(h.queue, n)
+}
+
+// popMsg removes and returns the head of the ring. The drained prefix is
+// compacted away once it dominates the backing array, so a queue that never
+// fully empties still reuses one allocation.
+func (h *half) popMsg() *msgNode {
+	n := h.queue[h.qHead]
+	h.queue[h.qHead] = nil
+	h.qHead++
+	switch {
+	case h.qHead == len(h.queue):
+		h.queue = h.queue[:0]
+		h.qHead = 0
+	case h.qHead > 32 && h.qHead*2 > len(h.queue):
+		live := copy(h.queue, h.queue[h.qHead:])
+		for i := live; i < len(h.queue); i++ {
+			h.queue[i] = nil
+		}
+		h.queue = h.queue[:live]
+		h.qHead = 0
+	}
+	return n
+}
+
+func (h *half) qLen() int { return len(h.queue) - h.qHead }
 
 // QueueLen returns the number of messages queued (not yet fully serialized)
 // in the direction from n, including the one in service.
 func (c *Conn) QueueLen(n *Node) int {
 	h := c.dir(n)
-	q := len(h.queue)
+	q := h.qLen()
 	if h.flow != nil && h.flow.Busy() {
 		q++
 	}
@@ -312,13 +419,16 @@ func (c *Conn) RTT() float64 {
 }
 
 // Close tears down both directions. Queued and in-flight messages are
-// dropped. Each side's OnClose fires exactly once: the closing side
-// immediately, the remote side after the one-way delay.
+// dropped (their pooled nodes are reclaimed). Each side's OnClose fires
+// exactly once: the closing side immediately, the remote side after the
+// one-way delay.
 func (c *Conn) Close(by *Node) {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	c.h[0].drainQueue()
+	c.h[1].drainQueue()
 	c.h[0].flow.Close()
 	c.h[1].flow.Close()
 	delete(c.dialer.conns, c)
@@ -328,69 +438,99 @@ func (c *Conn) Close(by *Node) {
 		by.OnClose(c)
 	}
 	oneWay := c.rt.Net.Topo.OneWayDelay(by.ID, other.ID)
-	c.rt.Eng.After(oneWay, func() {
-		if other.OnClose != nil {
-			other.OnClose(c)
-		}
-	})
+	c.rt.Eng.AfterEvent(oneWay, c, evPeerClose, other)
+}
+
+// drainQueue reclaims the pooled nodes of all queued messages.
+func (h *half) drainQueue() {
+	for h.qLen() > 0 {
+		h.conn.rt.putMsg(h.popMsg())
+	}
+	h.queuedBytes = 0
+}
+
+// OnEvent dispatches the half's typed engine events; engine plumbing, not
+// public API.
+func (h *half) OnEvent(kind int32, payload any) {
+	switch kind {
+	case evDeliver:
+		h.deliver(payload.(*msgNode))
+	case evPumpReady:
+		h.pumpPending = false
+		h.pump()
+	}
 }
 
 func (h *half) pump() {
 	c := h.conn
-	if c.closed || h.flow.Busy() || len(h.queue) == 0 || h.pumpPending {
+	if c.closed || h.flow.Busy() || h.qLen() == 0 || h.pumpPending {
 		return
 	}
 	now := c.rt.Eng.Now()
 	if now < c.readyAt {
 		h.pumpPending = true
-		c.rt.Eng.Schedule(c.readyAt, func() {
-			h.pumpPending = false
-			h.pump()
-		})
+		c.rt.Eng.ScheduleEvent(c.readyAt, h, evPumpReady, nil)
 		return
 	}
-	m := h.queue[0]
-	h.queue = h.queue[1:]
-	h.queuedBytes -= m.Size
+	n := h.popMsg()
+	h.queuedBytes -= n.m.Size
 	h.idleSince = -1
-	h.flow.Start(m.Size, func() { h.serialized(m) })
+	h.flow.StartTo(n.m.Size, h, n)
 }
 
-// serialized fires when the last byte of m leaves the sender.
-func (h *half) serialized(m Message) {
+// FlowDone fires when the last byte of the message in n leaves the sender
+// (netem.Completer).
+func (h *half) FlowDone(f *netem.Flow, arg any) {
+	h.serialized(arg.(*msgNode))
+}
+
+// serialized fires when the last byte of the node's message leaves the
+// sender; it schedules the in-order delivery event, which carries the node
+// until the pool reclaims it at delivery.
+func (h *half) serialized(n *msgNode) {
 	c := h.conn
 	rt := c.rt
 	now := rt.Eng.Now()
-	h.from.OutMeter.Add(now, m.Size)
+	h.from.OutMeter.Add(now, n.m.Size)
 
-	delay := rt.Net.Topo.OneWayDelay(h.from.ID, h.to.ID) + h.flow.DeliveryJitter(m.Size)
+	delay := rt.Net.Topo.OneWayDelay(h.from.ID, h.to.ID) + h.flow.DeliveryJitter(n.m.Size)
 	at := now + sim.Time(delay)
 	if at < h.lastDelivery {
 		at = h.lastDelivery // reliable in-order delivery
 	}
 	h.lastDelivery = at
-	rt.Eng.Schedule(at, func() {
-		if c.closed {
-			return
-		}
-		h.delivered += m.Size
-		h.to.InMeter.Add(at, m.Size)
-		rt.MessagesDelivered++
-		if c.IsData != nil && c.IsData(m.Kind) {
-			rt.DataBytes += m.Size
-			if rt.DataMeter != nil {
-				rt.DataMeter.Add(at, m.Size)
-			}
-		} else {
-			rt.ControlBytes += m.Size
-		}
-		if h.to.OnMessage != nil {
-			h.to.OnMessage(c, m)
-		}
-	})
+	rt.Eng.ScheduleEvent(at, h, evDeliver, n)
 
-	if len(h.queue) == 0 {
+	if h.qLen() == 0 {
 		h.idleSince = now
 	}
 	h.pump()
+}
+
+// deliver hands the message to the receiver. The pooled node is reclaimed
+// here — delivery transfers ownership of the Message value to the handler,
+// while the node goes back to the runtime.
+func (h *half) deliver(n *msgNode) {
+	c := h.conn
+	rt := c.rt
+	m := n.m
+	rt.putMsg(n)
+	if c.closed {
+		return
+	}
+	at := rt.Eng.Now()
+	h.delivered += m.Size
+	h.to.InMeter.Add(at, m.Size)
+	rt.MessagesDelivered++
+	if c.IsData != nil && c.IsData(m.Kind) {
+		rt.DataBytes += m.Size
+		if rt.DataMeter != nil {
+			rt.DataMeter.Add(at, m.Size)
+		}
+	} else {
+		rt.ControlBytes += m.Size
+	}
+	if h.to.OnMessage != nil {
+		h.to.OnMessage(c, m)
+	}
 }

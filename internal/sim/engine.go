@@ -1,9 +1,19 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock and a priority queue of scheduled
-// events. Events scheduled for the same instant fire in the order they were
+// The engine maintains a virtual clock and a queue of scheduled events.
+// Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-breaking by sequence number), which makes runs
 // reproducible for a fixed seed and schedule.
+//
+// The hot path is allocation-free: event nodes come from an engine-local
+// free list and are recycled when they fire or are retired after
+// cancellation, and the typed-event API (ScheduleEvent/AfterEvent plus the
+// Handler interface) lets schedulers dispatch without per-event closures.
+// Near-future events live in a bucketed timer wheel; only events beyond the
+// wheel horizon fall back to a binary heap. Both structures order events by
+// exactly the same (time, sequence) key, so the wheel engine executes
+// bit-for-bit the same schedule as the classic heap engine (see
+// equivalence_test.go).
 //
 // All of the overlay protocols and the network emulator in this repository
 // run on top of a single Engine per experiment. Nothing in the engine is
@@ -13,9 +23,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
+	"slices"
 	"time"
 )
 
@@ -24,7 +35,10 @@ import (
 // horizons used here while keeping rate arithmetic (bytes/sec) simple.
 type Time float64
 
-// Duration is a span of virtual time in seconds.
+// Duration is a span of virtual time in seconds. Negative durations passed
+// to After/AfterEvent clamp to zero (the event fires at Now, after the
+// currently executing event); NaN durations and NaN or past schedule times
+// panic rather than silently corrupting the queue — see Schedule.
 type Duration = float64
 
 // Seconds returns t as a float64 number of seconds.
@@ -38,97 +52,174 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 // Forever is a time later than any event the engine will ever execute.
 const Forever Time = Time(math.MaxFloat64)
 
-// Event is a scheduled callback. Holding the returned *Event allows
-// cancellation; a cancelled event stays in the heap but is skipped, and the
-// engine compacts the heap when cancelled events dominate it.
-type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	eng       *Engine
-	cancelled bool
-	index     int // heap index, -1 once popped
+// Handler receives typed events. Schedulers that fire many events implement
+// Handler once per component and dispatch on kind, which avoids allocating a
+// closure per scheduled event; kind values are private to each target.
+type Handler interface {
+	OnEvent(kind int32, payload any)
 }
 
-// At returns the virtual time this event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Event is one scheduled-event node. Nodes are owned by the engine and
+// recycled through a free list after they fire or are retired; external
+// holders keep an EventRef, never a bare *Event.
+type Event struct {
+	at  Time
+	seq uint64
+	gen uint64 // bumped on every recycle; validates EventRefs
+	eng *Engine
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e == nil || e.cancelled {
+	fn      func() // closure events; nil for typed events
+	target  Handler
+	kind    int32
+	where   uint8 // placement | the cancelled flag
+	payload any
+
+	next *Event // free-list link
+}
+
+// Node placement states; eventCancelled is OR'ed onto the placement, which
+// a cancelled event keeps until the queue lazily retires it.
+const (
+	eventFree uint8 = iota
+	eventInHeap
+	eventInWheel
+	eventInCur
+	eventCancelled uint8 = 0x80
+)
+
+func (ev *Event) cancelled() bool { return ev.where&eventCancelled != 0 }
+
+// EventRef is a cancellable handle to a scheduled event. It is a small
+// value (no allocation) and is safe to hold after the event has fired or
+// been cancelled: the generation counter makes operations on a recycled
+// node no-ops, so a stale Cancel can never hit an unrelated event that
+// happens to reuse the same node. The zero EventRef is inert.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
+
+// At returns the virtual time the event is scheduled to fire, or 0 if the
+// reference is stale (the event already fired or was retired).
+func (r EventRef) At() Time {
+	if r.ev == nil || r.ev.gen != r.gen {
+		return 0
+	}
+	return r.ev.at
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && r.ev.gen == r.gen && !r.ev.cancelled()
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-cancelled, or zero reference is a no-op.
+func (r EventRef) Cancel() {
+	ev := r.ev
+	if ev == nil || ev.gen != r.gen || ev.cancelled() {
 		return
 	}
-	e.cancelled = true
-	e.fn = nil // release the closure now; the heap slot may linger
-	if e.eng != nil && e.index >= 0 {
-		e.eng.cancelledInHeap++
-		e.eng.maybeCompact()
-	}
+	ev.fn = nil // release references now; the queue slot may linger
+	ev.target = nil
+	ev.payload = nil
+	ev.where |= eventCancelled
+	ev.eng.cancelledPending++
+	ev.eng.maybeCompact()
 }
 
-// Cancelled reports whether Cancel has been called.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Cancelled reports whether the referenced event was cancelled and has not
+// yet been retired by the queue. Stale references report false.
+func (r EventRef) Cancelled() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.cancelled()
+}
 
-type eventHeap []*Event
+// QueueKind selects the engine's event-queue implementation.
+type QueueKind int
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+const (
+	// QueueWheel is the default: a bucketed timer wheel for near-future
+	// events with a binary-heap overflow for events beyond the horizon.
+	QueueWheel QueueKind = iota
+	// QueueHeap is the classic single binary heap — the pre-wheel engine,
+	// kept as the equivalence oracle and for benchmarks.
+	QueueHeap
+)
+
+// Timer-wheel geometry. Each bucket spans 1/wheelTickInv seconds and the
+// wheel covers wheelBuckets of them (an ~8 s horizon): RTTs, transfer
+// completions, recompute intervals, and protocol periods all land in the
+// wheel, while run deadlines and other far-future events overflow to the
+// binary heap.
+const (
+	wheelTickInv = 1024.0 // buckets per virtual second (tick = ~0.98 ms)
+	wheelBuckets = 8192   // must be a power of two
+	wheelMask    = wheelBuckets - 1
+
+	// maxBucketTime guards the int64 bucket arithmetic: times at or above
+	// it (Forever, +Inf, multi-year deadlines) go straight to the heap.
+	maxBucketTime = 1e12
+)
+
+func bucketOf(t Time) int64 { return int64(float64(t) * wheelTickInv) }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
-// one with NewEngine.
+// one with NewEngine (timer-wheel queue) or NewEngineWithQueue.
 type Engine struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
 	stopped bool
+	queue   QueueKind
 
-	cancelledInHeap int
-	wallStart       time.Time
+	// Overflow heap ordered by (at, seq); the only queue in QueueHeap mode.
+	heap []*Event
+
+	// Timer wheel: slots accumulate unsorted events per bucket and occ is
+	// the slot-occupancy bitmap. cur is the sorted drain buffer holding
+	// bucket curBucket (-1 when unloaded), consumed from curIdx.
+	slots     [][]*Event
+	occ       []uint64
+	wheelLen  int
+	cur       []*Event
+	curIdx    int
+	curBucket int64
+
+	free    *Event
+	freeLen int
+
+	cancelledPending int
+	wallStart        time.Time
 
 	// Executed counts events that actually fired (not cancelled ones).
 	Executed uint64
-	// Compactions counts lazy heap compactions (see maybeCompact).
+	// Compactions counts lazy queue compactions (see maybeCompact).
 	Compactions uint64
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	return &Engine{wallStart: time.Now()}
+// NewEngine returns a timer-wheel engine with the clock at zero.
+func NewEngine() *Engine { return NewEngineWithQueue(QueueWheel) }
+
+// NewEngineWithQueue returns an engine using the given queue implementation.
+// Both kinds execute identical schedules in identical order; QueueHeap is
+// retained as the equivalence oracle.
+func NewEngineWithQueue(q QueueKind) *Engine {
+	e := &Engine{queue: q, curBucket: -1, wallStart: time.Now()}
+	if q == QueueWheel {
+		e.slots = make([][]*Event, wheelBuckets)
+		e.occ = make([]uint64, wheelBuckets/64)
+	}
+	return e
 }
 
 // Stats is a snapshot of the engine's health counters, for long-run
-// instrumentation: event throughput, cancelled-event occupancy of the heap,
+// instrumentation: event throughput, cancelled-event occupancy of the queue,
 // and the wall-time cost of each virtual second.
 type Stats struct {
 	Executed         uint64        // events that fired
 	HeapLen          int           // events still queued, cancelled included
-	CancelledPending int           // cancelled events still occupying the heap
+	CancelledPending int           // cancelled events still occupying the queue
 	Compactions      uint64        // lazy compaction passes performed
+	FreeListLen      int           // recycled event nodes awaiting reuse
 	VirtualElapsed   Time          // current virtual clock
 	WallElapsed      time.Duration // wall time since NewEngine
 }
@@ -146,29 +237,381 @@ func (s Stats) WallPerVirtualSecond() float64 {
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Executed:         e.Executed,
-		HeapLen:          len(e.heap),
-		CancelledPending: e.cancelledInHeap,
+		HeapLen:          e.Pending(),
+		CancelledPending: e.cancelledPending,
 		Compactions:      e.Compactions,
+		FreeListLen:      e.freeLen,
 		VirtualElapsed:   e.now,
 		WallElapsed:      time.Since(e.wallStart),
 	}
 }
 
-// compactMinHeap is the heap size below which compaction is never worth it.
-const compactMinHeap = 1024
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
 
-// maybeCompact rebuilds the heap without cancelled events once they occupy
-// more than half of a large heap. Without this, churn-heavy runs (every
-// recomputation cancels and reschedules completions) accumulate dead events
-// faster than pops retire them, and heap operations degrade as O(log dead).
-func (e *Engine) maybeCompact() {
-	if len(e.heap) < compactMinHeap || e.cancelledInHeap*2 <= len(e.heap) {
+// Pending reports the number of events in the queue, including cancelled
+// events that have not been retired yet.
+func (e *Engine) Pending() int {
+	return len(e.heap) + e.wheelLen + (len(e.cur) - e.curIdx)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// newNode takes a node from the free list (or allocates one) and stamps the
+// ordering key.
+func (e *Engine) newNode(at Time) *Event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		e.freeLen--
+		ev.next = nil
+	} else {
+		ev = &Event{eng: e}
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	return ev
+}
+
+// recycle retires a node: its generation is bumped so outstanding EventRefs
+// go stale, its references are dropped, and it joins the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.target = nil
+	ev.payload = nil
+	ev.where = eventFree
+	ev.next = e.free
+	e.free = ev
+	e.freeLen++
+}
+
+// checkAt validates a schedule time. NaN virtual times would silently
+// corrupt the queue's ordering (and the wheel's bucket arithmetic), so they
+// panic, as does scheduling before Now, which would corrupt causality.
+func (e *Engine) checkAt(at Time) {
+	if math.IsNaN(float64(at)) {
+		panic("sim: schedule at NaN")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+}
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the
+// past (before Now) or at NaN panics. The returned EventRef cancels the
+// event; it may be discarded.
+//
+// Schedule allocates nothing beyond the caller's closure; schedulers on the
+// hot path should prefer ScheduleEvent, which needs no closure at all.
+func (e *Engine) Schedule(at Time, fn func()) EventRef {
+	e.checkAt(at)
+	ev := e.newNode(at)
+	ev.fn = fn
+	e.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// ScheduleEvent runs target.OnEvent(kind, payload) at the given absolute
+// virtual time. It is the allocation-free form of Schedule: the event node
+// comes from the engine's free list, and a pointer (or nil) payload is
+// stored without allocating.
+func (e *Engine) ScheduleEvent(at Time, target Handler, kind int32, payload any) EventRef {
+	e.checkAt(at)
+	if target == nil {
+		panic("sim: ScheduleEvent with nil target")
+	}
+	ev := e.newNode(at)
+	ev.target = target
+	ev.kind = kind
+	ev.payload = payload
+	e.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// After runs fn after d seconds of virtual time. Negative delays (including
+// -Inf) clamp to 0; NaN panics.
+func (e *Engine) After(d Duration, fn func()) EventRef {
+	return e.Schedule(e.now+Time(clampDelay(d)), fn)
+}
+
+// AfterEvent runs target.OnEvent(kind, payload) after d seconds of virtual
+// time, with the same delay rules as After.
+func (e *Engine) AfterEvent(d Duration, target Handler, kind int32, payload any) EventRef {
+	return e.ScheduleEvent(e.now+Time(clampDelay(d)), target, kind, payload)
+}
+
+// clampDelay defines delay edge cases in one place: negative delays
+// (including -Inf) clamp to zero and NaN panics. +Inf passes through,
+// scheduling effectively at Forever.
+func clampDelay(d Duration) Duration {
+	if math.IsNaN(d) {
+		panic("sim: schedule after NaN duration")
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// push inserts a live node into the queue.
+func (e *Engine) push(ev *Event) {
+	if e.queue == QueueHeap || float64(ev.at) >= maxBucketTime {
+		e.heapPush(ev)
 		return
 	}
+	b := bucketOf(ev.at)
+	if b-bucketOf(e.now) >= wheelBuckets {
+		e.heapPush(ev)
+		return
+	}
+	if e.curBucket >= 0 && b < e.curBucket {
+		// Earlier than the loaded drain bucket: put cur back so the next
+		// peek reloads from the true earliest bucket.
+		e.unloadCur()
+	}
+	if b == e.curBucket {
+		// Insert into the sorted drain buffer. The new node carries the
+		// globally largest seq, so its position is the upper bound of its
+		// timestamp; everything already drained sorts strictly before it.
+		i, j := e.curIdx, len(e.cur)
+		for i < j {
+			m := int(uint(i+j) >> 1)
+			if e.cur[m].at <= ev.at {
+				i = m + 1
+			} else {
+				j = m
+			}
+		}
+		ev.where = eventInCur
+		e.cur = append(e.cur, nil)
+		copy(e.cur[i+1:], e.cur[i:])
+		e.cur[i] = ev
+		return
+	}
+	slot := b & wheelMask
+	ev.where = eventInWheel
+	e.slots[slot] = append(e.slots[slot], ev)
+	e.occ[slot>>6] |= 1 << (slot & 63)
+	e.wheelLen++
+}
+
+// --- binary heap (overflow + QueueHeap mode) -------------------------------
+
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *Event) {
+	ev.where = eventInHeap
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() *Event {
+	h := e.heap
+	n := len(h)
+	top := h[0]
+	h[0] = h[n-1]
+	h[n-1] = nil
+	e.heap = h[:n-1]
+	if n > 1 {
+		e.heapSiftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) heapSiftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && eventLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// heapTop returns the live heap minimum, lazily retiring cancelled tops.
+func (e *Engine) heapTop() *Event {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if !top.cancelled() {
+			return top
+		}
+		e.heapPop()
+		e.cancelledPending--
+		e.recycle(top)
+	}
+	return nil
+}
+
+// --- timer wheel -----------------------------------------------------------
+
+// unloadCur returns the undrained remainder of the drain buffer to its slot
+// (used when an insert lands before the loaded bucket).
+func (e *Engine) unloadCur() {
+	slot := e.curBucket & wheelMask
+	for _, ev := range e.cur[e.curIdx:] {
+		ev.where = eventInWheel | (ev.where & eventCancelled)
+		e.slots[slot] = append(e.slots[slot], ev)
+		e.wheelLen++
+	}
+	if len(e.slots[slot]) > 0 {
+		e.occ[slot>>6] |= 1 << (slot & 63)
+	}
+	e.cur = e.cur[:0]
+	e.curIdx = 0
+	e.curBucket = -1
+}
+
+// loadNextBucket moves the earliest non-empty slot into the sorted drain
+// buffer; the caller guarantees wheelLen > 0. Every pending wheel bucket
+// lies in [bucketOf(now), bucketOf(now)+wheelBuckets) — an event is only
+// placed in the wheel when its bucket is within that window of the clock,
+// and the clock never moves past a pending event — so scanning the
+// occupancy bitmap in ring order from bucketOf(now) visits slots in strict
+// bucket order.
+func (e *Engine) loadNextBucket() {
+	start := bucketOf(e.now)
+	for off := int64(0); off < wheelBuckets; off++ {
+		slot := (start + off) & wheelMask
+		w := e.occ[slot>>6] >> (slot & 63)
+		if w == 0 {
+			// Nothing set at or above this slot within its word: skip to
+			// the word boundary.
+			off += 63 - (slot & 63)
+			continue
+		}
+		if skip := int64(bits.TrailingZeros64(w)); skip > 0 {
+			off += skip - 1 // the loop increment adds the final step
+			continue
+		}
+		s := e.slots[slot]
+		e.slots[slot] = s[:0]
+		e.occ[slot>>6] &^= 1 << (slot & 63)
+		e.wheelLen -= len(s)
+		e.cur = append(e.cur[:0], s...)
+		e.curIdx = 0
+		e.curBucket = start + off
+		for _, ev := range e.cur {
+			ev.where = eventInCur | (ev.where & eventCancelled)
+		}
+		slices.SortFunc(e.cur, compareEvents)
+		return
+	}
+	panic("sim: wheel count positive but no occupied slot")
+}
+
+func compareEvents(a, b *Event) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// wheelHead returns the live wheel minimum without removing it, lazily
+// retiring cancelled events at the head of the drain buffer.
+func (e *Engine) wheelHead() *Event {
+	for {
+		for e.curIdx < len(e.cur) {
+			ev := e.cur[e.curIdx]
+			if !ev.cancelled() {
+				return ev
+			}
+			e.cur[e.curIdx] = nil
+			e.curIdx++
+			e.cancelledPending--
+			e.recycle(ev)
+		}
+		if len(e.cur) > 0 {
+			e.cur = e.cur[:0]
+			e.curIdx = 0
+		}
+		e.curBucket = -1
+		if e.wheelLen == 0 {
+			return nil
+		}
+		e.loadNextBucket()
+	}
+}
+
+// peek returns the next live event without removing it, or nil. Cancelled
+// events encountered on the way are retired.
+func (e *Engine) peek() *Event {
+	if e.queue == QueueHeap {
+		return e.heapTop()
+	}
+	w := e.wheelHead()
+	h := e.heapTop()
+	switch {
+	case w == nil:
+		return h
+	case h == nil:
+		return w
+	case eventLess(h, w):
+		return h
+	default:
+		return w
+	}
+}
+
+// pop removes the event a prior peek returned.
+func (e *Engine) pop(ev *Event) {
+	if ev.where == eventInCur {
+		// peek guarantees ev is cur[curIdx].
+		e.cur[e.curIdx] = nil
+		e.curIdx++
+		return
+	}
+	e.heapPop()
+}
+
+// compactMin is the queue size below which compaction is never worth it.
+const compactMin = 1024
+
+// maybeCompact rebuilds the queue without cancelled events once they occupy
+// more than half of a large queue. Without this, churn-heavy runs (every
+// recomputation cancels and reschedules completions) accumulate dead events
+// faster than pops retire them, and queue operations degrade.
+func (e *Engine) maybeCompact() {
+	if e.Pending() < compactMin || e.cancelledPending*2 <= e.Pending() {
+		return
+	}
+	// Heap: filter, then re-heapify.
 	kept := e.heap[:0]
 	for _, ev := range e.heap {
-		if ev.cancelled {
-			ev.index = -1
+		if ev.cancelled() {
+			e.cancelledPending--
+			e.recycle(ev)
 			continue
 		}
 		kept = append(kept, ev)
@@ -177,43 +620,68 @@ func (e *Engine) maybeCompact() {
 		e.heap[i] = nil
 	}
 	e.heap = kept
-	for i, ev := range e.heap {
-		ev.index = i
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.heapSiftDown(i)
 	}
-	heap.Init(&e.heap)
-	e.cancelledInHeap = 0
+	// Wheel slots: filter each occupied slot in place.
+	if e.wheelLen > 0 {
+		for slot := range e.slots {
+			s := e.slots[slot]
+			if len(s) == 0 {
+				continue
+			}
+			live := s[:0]
+			for _, ev := range s {
+				if ev.cancelled() {
+					e.cancelledPending--
+					e.wheelLen--
+					e.recycle(ev)
+					continue
+				}
+				live = append(live, ev)
+			}
+			for i := len(live); i < len(s); i++ {
+				s[i] = nil
+			}
+			e.slots[slot] = live
+			if len(live) == 0 {
+				e.occ[slot>>6] &^= 1 << (slot & 63)
+			}
+		}
+	}
+	// Drain buffer: filter the undrained tail in place, preserving order.
+	if e.curIdx < len(e.cur) {
+		live := e.cur[:e.curIdx]
+		for _, ev := range e.cur[e.curIdx:] {
+			if ev.cancelled() {
+				e.cancelledPending--
+				e.recycle(ev)
+				continue
+			}
+			live = append(live, ev)
+		}
+		for i := len(live); i < len(e.cur); i++ {
+			e.cur[i] = nil
+		}
+		e.cur = live
+	}
 	e.Compactions++
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
-
-// Schedule runs fn at the given absolute virtual time. Scheduling in the past
-// (before Now) panics: it would silently corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+// fire executes a popped live event. The node is recycled before the
+// callback runs, so a handler that immediately reschedules reuses the same
+// hot node.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	e.Executed++
+	fn, target, kind, payload := ev.fn, ev.target, ev.kind, ev.payload
+	e.recycle(ev)
+	if fn != nil {
+		fn()
+		return
 	}
-	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
-	heap.Push(&e.heap, ev)
-	return ev
+	target.OnEvent(kind, payload)
 }
-
-// After runs fn after d seconds of virtual time. Negative delays clamp to 0.
-func (e *Engine) After(d Duration, fn func()) *Event {
-	if d < 0 {
-		d = 0
-	}
-	return e.Schedule(e.now+Time(d), fn)
-}
-
-// Stop makes Run return after the currently executing event completes.
-func (e *Engine) Stop() { e.stopped = true }
-
-// Pending reports the number of events in the queue, including cancelled
-// events that have not been popped yet.
-func (e *Engine) Pending() int { return len(e.heap) }
 
 // Step executes the single next non-cancelled event. It returns false when
 // the queue is empty or the engine has been stopped.
@@ -221,33 +689,24 @@ func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancelled {
-			e.cancelledInHeap--
-			continue
-		}
-		e.now = ev.at
-		e.Executed++
-		ev.fn()
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.pop(ev)
+	e.fire(ev)
+	return true
 }
 
 // NextEventAt returns the timestamp of the next live event, or false when
 // the queue is empty. Cancelled events encountered while peeking are
 // retired.
 func (e *Engine) NextEventAt() (Time, bool) {
-	for len(e.heap) > 0 {
-		if e.heap[0].cancelled {
-			heap.Pop(&e.heap)
-			e.cancelledInHeap--
-			continue
-		}
-		return e.heap[0].at, true
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
 	}
-	return 0, false
+	return ev.at, true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -262,20 +721,12 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.Executed
 	for !e.stopped {
-		if len(e.heap) == 0 {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
 			break
 		}
-		// Peek.
-		next := e.heap[0]
-		if next.cancelled {
-			heap.Pop(&e.heap)
-			e.cancelledInHeap--
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
-		e.Step()
+		e.pop(ev)
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline

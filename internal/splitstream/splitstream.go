@@ -340,11 +340,17 @@ func (p *ssPeer) pump() {
 	}
 	if p.moreToSend() {
 		p.pumping = true
-		p.s.rt.After(pumpInterval, func() {
-			p.pumping = false
-			p.pump()
-		})
+		p.s.rt.AfterEvent(pumpInterval, p, evPump, nil)
 	}
+}
+
+// evPump is the peer's only typed timer kind.
+const evPump int32 = 0
+
+// OnEvent dispatches the peer's periodic typed timer (engine plumbing).
+func (p *ssPeer) OnEvent(kind int32, _ any) {
+	p.pumping = false
+	p.pump()
 }
 
 func (p *ssPeer) moreToSend() bool {
