@@ -69,6 +69,11 @@ type configFingerprint struct {
 	StaticPeers       int             `json:"static_peers,omitempty"`
 	StaticOutstanding int             `json:"static_outstanding,omitempty"`
 	Encoded           bool            `json:"encoded,omitempty"`
+	// Engine and Shards shape results (per-shard RNG streams), so they are
+	// part of the identity; ShardWorkers is an execution knob and is not.
+	// omitempty keeps every pre-sharding sequential record's id stable.
+	Engine EngineMode `json:"engine,omitempty"`
+	Shards int        `json:"shards,omitempty"`
 }
 
 // fingerprint renders a normalized config's canonical JSON plus the
@@ -99,6 +104,8 @@ func fingerprint(cfg RunConfig, seriesEvery float64) (configJSON []byte, scenari
 		StaticPeers:       cfg.StaticPeers,
 		StaticOutstanding: cfg.StaticOutstanding,
 		Encoded:           cfg.Encoded,
+		Engine:            cfg.Engine,
+		Shards:            cfg.Shards,
 	}
 	configJSON, err = json.Marshal(fp)
 	if err != nil {

@@ -572,6 +572,48 @@ func BenchmarkScenarioTraceReplay5000(b *testing.B) {
 	b.ReportMetric(wallPerVirtual, "wall_s_per_virtual")
 }
 
+// --- Sharded engine (DESIGN.md §9) -------------------------------------------
+//
+// The sharded benchmarks run the Scale5000 sharded preset — 200 clusters of
+// 25 on the O(N)-memory compact clustered topology, the scalefill reference
+// workload with per-shard link churn — through the conservative shard group.
+// The Serial variant drives all 8 shards cooperatively on one goroutine (the
+// bit-exact oracle mode); the parallel variant runs one goroutine per shard.
+// Both execute the identical event sequence, so their wall-time ratio is pure
+// engine parallelism: in BENCH_PERF.json the parallel benchmark carries an
+// ns_ceiling equal to the serial benchmark's recorded ns/op, which makes CI
+// (GOMAXPROCS=4) assert that parallel execution is never slower than the
+// sequential oracle.
+
+// shardedBench5000 runs the Scale5000 sharded preset once per iteration with
+// the given worker mode and reports the executed event count.
+func shardedBench5000(b *testing.B, workers int) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		topo := harness.ClusteredTopologyCompact(5000, 25)(sim.NewRNG(7).Stream("topo"))
+		rig := harness.NewShardedRig(topo, 7, 8)
+		build, ok := harness.LookupShardedSystem("scalefill")
+		if !ok {
+			b.Fatal("scalefill not registered")
+		}
+		sys := build(harness.ShardBuildCtx{Rig: rig,
+			Workload: harness.Workload{FileBytes: 1.5e6, BlockSize: 16 * 1024}})
+		sys.Start()
+		rig.Group.Run(12, workers, nil)
+		if !sys.Complete() {
+			b.Fatal("sharded preset did not complete by the 12 s horizon")
+		}
+		events = 0
+		for _, s := range rig.Slots {
+			events += s.Eng.Stats().Executed
+		}
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+func BenchmarkShardedTraceReplay5000(b *testing.B)       { shardedBench5000(b, 0) }
+func BenchmarkShardedTraceReplay5000Serial(b *testing.B) { shardedBench5000(b, 1) }
+
 // --- Observer streaming overhead ----------------------------------------------
 
 // benchFlowsSystem is a registered façade protocol that reproduces the

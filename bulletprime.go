@@ -87,6 +87,30 @@ const (
 	ProtocolSplitStream Protocol = "splitstream"
 )
 
+// ProtocolScalefill is the sharded engine's reference workload: every node
+// pulls the file through intra-cluster transfers under per-shard link
+// churn, with cross-shard token coupling. It requires EngineSharded and a
+// clustered network preset; it is the workload behind the Scale50000
+// preset and the sharded-vs-sequential equivalence tests.
+const ProtocolScalefill Protocol = "scalefill"
+
+// EngineMode selects a run's execution engine; see the RunConfig.Engine
+// field. It re-exports harness.EngineMode.
+type EngineMode = harness.EngineMode
+
+const (
+	// EngineSequential is the default single-threaded event loop — the
+	// bit-exact oracle every other mode is pinned against.
+	EngineSequential = harness.EngineSequential
+	// EngineSharded partitions a run into per-cluster shards executing in
+	// parallel under a conservative lookahead clock (DESIGN.md §9). It
+	// requires a clustered network preset and a protocol registered for
+	// sharded execution (harness.RegisterShardedSystem), and supports
+	// neither scenarios nor observers — sharded systems drive their own
+	// per-shard dynamics.
+	EngineSharded = harness.EngineSharded
+)
+
 // NetworkPreset selects an emulated environment, resolved through the open
 // network registry (see RegisterNetwork).
 type NetworkPreset string
@@ -110,6 +134,11 @@ const (
 	// inside a cluster and scarce lossy links between clusters — the
 	// large-scale (1000-node) sweep environment.
 	NetworkClustered NetworkPreset = "clustered"
+	// NetworkClusteredCompact: the clustered environment in O(n) memory —
+	// per-pair link parameters derived from a hash instead of dense
+	// matrices, statistically identical to NetworkClustered. The only
+	// preset that fits 50000 nodes; pair it with EngineSharded.
+	NetworkClusteredCompact NetworkPreset = "clustered-compact"
 )
 
 // RequestStrategy re-exports the §3.3.2 request orderings.
@@ -161,6 +190,22 @@ type RunConfig struct {
 	// at their own cadence). The one-shot Run/Sweep wrappers do not
 	// sample.
 	SampleEvery float64
+	// Engine selects the execution engine: EngineSequential (the zero
+	// value) or EngineSharded. Sharded runs execute per-cluster shards in
+	// parallel within one run; they require a clustered network preset and
+	// a sharded-registered protocol (e.g. ProtocolScalefill), and are
+	// incompatible with Scenario, DynamicBandwidth, observers, and the
+	// sampled time-series.
+	Engine EngineMode
+	// Shards is the shard count for EngineSharded; 0 picks the default.
+	// Results depend on the shard count — it is part of the experiment's
+	// identity, never derived from the host's core count.
+	Shards int
+	// ShardWorkers caps the goroutines driving a sharded run: 1 runs all
+	// shards cooperatively on one goroutine (the bit-exact oracle of the
+	// parallel mode), 0 or any other value runs one goroutine per shard.
+	// Results never depend on it.
+	ShardWorkers int
 	// Archive, when set, persists every completed run — and every sweep
 	// cell using this config as its base — into the experiment archive,
 	// keyed by a deterministic hash of the normalized config, scenario
@@ -208,9 +253,28 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 	case cfg.SampleEvery < 0:
 		cfg.SampleEvery = -1 // canonical "series disabled"
 	}
-	if _, ok := lookupProtocol(cfg.Protocol); !ok {
-		return cfg, fmt.Errorf("bulletprime: unknown protocol %q (registered: %v)",
-			cfg.Protocol, Protocols())
+	if cfg.Engine == EngineSharded {
+		if cfg.Scenario != nil {
+			return cfg, fmt.Errorf("bulletprime: sharded runs do not support scenarios; sharded systems drive their own per-shard dynamics")
+		}
+		if cfg.DynamicBandwidth {
+			return cfg, fmt.Errorf("bulletprime: sharded runs do not support DynamicBandwidth")
+		}
+		if _, ok := harness.LookupShardedSystem(string(cfg.Protocol)); !ok {
+			return cfg, fmt.Errorf("bulletprime: protocol %q is not registered for sharded execution (registered: %v)",
+				cfg.Protocol, harness.ShardedSystemNames())
+		}
+		// Sharded runs keep no time-series: the recorder hooks are built
+		// around a single engine's clock.
+		cfg.SampleEvery = -1
+	} else {
+		if cfg.Shards != 0 || cfg.ShardWorkers != 0 {
+			return cfg, fmt.Errorf("bulletprime: Shards/ShardWorkers are sharded-engine knobs; set Engine: EngineSharded")
+		}
+		if _, ok := lookupProtocol(cfg.Protocol); !ok {
+			return cfg, fmt.Errorf("bulletprime: unknown protocol %q (registered: %v)",
+				cfg.Protocol, Protocols())
+		}
 	}
 	if _, ok := lookupNetwork(cfg.Network); !ok {
 		return cfg, fmt.Errorf("bulletprime: unknown network preset %q (registered: %v)",
@@ -225,6 +289,11 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 	var spec harness.SweepSpec
 	systemName, _ := lookupProtocol(cfg.Protocol)
+	if cfg.Engine == EngineSharded {
+		// Sharded protocols resolve through the harness's sharded registry
+		// under their façade name; normalized() already vetted membership.
+		systemName = string(cfg.Protocol)
+	}
 	netBuild, _ := lookupNetwork(cfg.Network)
 	topoFn := netBuild(cfg.Nodes)
 
@@ -259,6 +328,9 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		CoreMut:  coreMut,
 		Deadline: sim.Time(cfg.Deadline),
 		Scenario: prog,
+		Engine:   cfg.Engine,
+		Shards:   cfg.Shards,
+		Workers:  cfg.ShardWorkers,
 	}, nil
 }
 

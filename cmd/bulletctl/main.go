@@ -253,12 +253,20 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		every    = fs.Float64("every", 5, "progress sample cadence in virtual seconds")
 		archDir  = fs.String("archive", "", "record the completed run into this experiment archive")
 		version  = fs.String("version", "", "code version stamped onto archived runs (default: binary VCS revision, or dev)")
+		engine   = fs.String("engine", "sequential", "execution engine: sequential or sharded (sharded needs a clustered network and a sharded protocol, e.g. scalefill)")
+		shards   = fs.Int("shards", 0, "shard count for -engine sharded (0 = default; part of the experiment's identity)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "bulletctl run: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	mode, ok := parseEngine(*engine, stderr)
+	if !ok {
 		return 2
 	}
 	scen, ok := loadScenario(*scenFile, stderr)
@@ -280,6 +288,8 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		Scenario:         scen,
 		Seed:             *seed,
 		Deadline:         *deadline,
+		Engine:           mode,
+		Shards:           *shards,
 		// The CLI prints aggregates and streams -progress through an
 		// observer; it never reads Result.Series.
 		SampleEvery: -1,
@@ -310,11 +320,19 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 	} else {
 		close(streamed)
 	}
+	prof, ok := startProfiles(*cpuProf, *memProf, stderr)
+	if !ok {
+		return 1
+	}
 	ctx, stop := interruptContext()
 	defer stop()
 	res, err := exp.Run(ctx)
+	profOK := prof.stop(stderr)
 	if err != nil && res == nil {
 		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
+	}
+	if !profOK {
 		return 1
 	}
 	<-streamed
@@ -396,12 +414,20 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		progress  = fs.Bool("progress", false, "report each cell on stderr as it completes")
 		archDir   = fs.String("archive", "", "record every completed cell into this experiment archive")
 		version   = fs.String("version", "", "code version stamped onto archived runs (default: binary VCS revision, or dev)")
+		engine    = fs.String("engine", "sequential", "execution engine for every cell: sequential or sharded")
+		shards    = fs.Int("shards", 0, "shard count for -engine sharded (0 = default)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = fs.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "bulletctl sweep: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	mode, ok := parseEngine(*engine, stderr)
+	if !ok {
 		return 2
 	}
 	scen, ok := loadScenario(*scenFile, stderr)
@@ -421,6 +447,8 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 			Scenario:         scen,
 			Deadline:         *deadline,
 			Parallel:         *parallel,
+			Engine:           mode,
+			Shards:           *shards,
 			Archive:          arch,
 		},
 	}
@@ -438,6 +466,10 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	prof, ok := startProfiles(*cpuProf, *memProf, stderr)
+	if !ok {
+		return 1
+	}
 	start := time.Now()
 	var runs []bulletprime.SweepRun
 	total, cancelled := 0, 0
@@ -452,6 +484,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		cfg.Base.SampleEvery = -1
 		ch, err := bulletprime.SweepStream(ctx, cfg, nil)
 		if err != nil {
+			prof.stop(stderr)
 			fmt.Fprintln(stderr, "bulletctl:", err)
 			return 1
 		}
@@ -475,6 +508,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		var err error
 		runs, err = bulletprime.Sweep(cfg)
 		if err != nil {
+			prof.stop(stderr)
 			fmt.Fprintln(stderr, "bulletctl:", err)
 			return 1
 		}
@@ -487,6 +521,9 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if !prof.stop(stderr) {
+		return 1
+	}
 	fmt.Fprintf(stdout, "%-14s %-12s %6s %10s %10s %10s %9s\n",
 		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished")
 	type key struct {

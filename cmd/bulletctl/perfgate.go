@@ -58,6 +58,19 @@ func runPerfGate(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "bulletctl:", err)
 			return 1
 		}
+		// ns_ceiling values are hand-set relations, not measurements — carry
+		// them over from the baseline being replaced so -write does not
+		// silently drop the absolute bounds.
+		if old, err := lab.LoadPerfBaseline(*baseFile); err == nil {
+			for name, oe := range old.Benchmarks {
+				if oe.NsCeiling > 0 {
+					if ne, ok := base.Benchmarks[name]; ok {
+						ne.NsCeiling = oe.NsCeiling
+						base.Benchmarks[name] = ne
+					}
+				}
+			}
+		}
 		if err := base.Save(*baseFile); err != nil {
 			fmt.Fprintln(stderr, "bulletctl:", err)
 			return 1

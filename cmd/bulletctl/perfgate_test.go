@@ -63,6 +63,36 @@ func TestPerfGateInjectedRegression(t *testing.T) {
 	}
 }
 
+func TestPerfGateWriteKeepsCeilings(t *testing.T) {
+	inputPath, basePath := writePerfInputs(t)
+	// Hand-set a ceiling on one entry, as BENCH_PERF.json does for the
+	// sharded-vs-sequential wall-time bound, then regenerate via -write.
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(data),
+		`"ns_per_op": 117482534,`, `"ns_per_op": 117482534, "ns_ceiling": 2e8,`, 1)
+	if edited == string(data) {
+		t.Fatalf("baseline edit did not apply:\n%s", data)
+	}
+	if err := os.WriteFile(basePath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := dispatch([]string{"perfgate", "-input", inputPath, "-baseline", basePath,
+		"-write"}, &out, &errb); code != 0 {
+		t.Fatalf("perfgate -write exit %d: %s", code, errb.String())
+	}
+	rewritten, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rewritten), `"ns_ceiling": 200000000`) {
+		t.Fatalf("-write dropped the hand-set ns_ceiling:\n%s", rewritten)
+	}
+}
+
 func TestPerfGateUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"perfgate"},                            // missing -baseline

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"bulletprime"
+)
+
+// Profiling hooks for shard-balance tuning: -cpuprofile/-memprofile on the
+// run and sweep subcommands bracket the experiment itself (flag parsing and
+// result printing are not profiled). The outputs are standard pprof
+// profiles; inspect with `go tool pprof`.
+
+// profiles holds the open profile outputs of one profiled command.
+type profiles struct {
+	cpuFile *os.File
+	memFile *os.File
+}
+
+// startProfiles opens the requested profile outputs and begins CPU
+// profiling. Both paths are created up front so an unwritable path fails
+// before the experiment runs, not after it. "" disables an output. On
+// failure everything already started is unwound.
+func startProfiles(cpu, mem string, stderr io.Writer) (*profiles, bool) {
+	p := &profiles{}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return nil, false
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return nil, false
+		}
+		p.cpuFile = f
+	}
+	if mem != "" {
+		f, err := os.Create(mem)
+		if err != nil {
+			p.unwindCPU()
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return nil, false
+		}
+		p.memFile = f
+	}
+	return p, true
+}
+
+func (p *profiles) unwindCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// stop finishes CPU profiling and writes the allocation profile. It is
+// idempotent, so commands may call it on every exit path.
+func (p *profiles) stop(stderr io.Writer) bool {
+	ok := true
+	p.unwindCPU()
+	if p.memFile != nil {
+		runtime.GC() // flush recent allocations into the heap profile
+		if err := pprof.Lookup("allocs").WriteTo(p.memFile, 0); err != nil {
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			ok = false
+		}
+		p.memFile.Close()
+		p.memFile = nil
+	}
+	return ok
+}
+
+// parseEngine maps the -engine flag to an EngineMode; an unknown name is a
+// usage error (exit 2), like any other malformed flag value.
+func parseEngine(name string, stderr io.Writer) (bulletprime.EngineMode, bool) {
+	switch name {
+	case "", "sequential":
+		return bulletprime.EngineSequential, true
+	case "sharded":
+		return bulletprime.EngineSharded, true
+	default:
+		fmt.Fprintf(stderr, "bulletctl: unknown engine %q (sequential or sharded)\n", name)
+		return bulletprime.EngineSequential, false
+	}
+}

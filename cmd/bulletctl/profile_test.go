@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunProfileAndEngineExitCodes is the exit-code table for the pprof and
+// engine flags on run and sweep: 0 with profiles written, 1 on unwritable
+// profile paths or a misconfigured sharded run, 2 on a bad -engine value.
+func TestRunProfileAndEngineExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	// Small but real: a sequential run and a 2-cluster sharded run.
+	seqArgs := []string{"-nodes", "10", "-filemb", "0.5", "-seed", "1"}
+	shardArgs := []string{"-nodes", "50", "-filemb", "1", "-seed", "1",
+		"-network", "clustered", "-protocol", "scalefill", "-engine", "sharded", "-shards", "2"}
+
+	cases := []struct {
+		name string
+		cmd  func(args []string, stdout, stderr io.Writer) int
+		args []string
+		want int
+	}{
+		{"run with profiles", runSingle,
+			append([]string{"-cpuprofile", cpu, "-memprofile", mem}, seqArgs...), 0},
+		{"run sharded", runSingle, shardArgs, 0},
+		{"run bad engine", runSingle,
+			append([]string{"-engine", "warp"}, seqArgs...), 2},
+		{"run sharded with sequential protocol", runSingle,
+			[]string{"-nodes", "50", "-network", "clustered", "-engine", "sharded"}, 1},
+		{"run unwritable cpuprofile", runSingle,
+			append([]string{"-cpuprofile", filepath.Join(dir, "absent", "cpu.pprof")}, seqArgs...), 1},
+		{"sweep with profiles", runSweep,
+			[]string{"-nodes", "10", "-filemb", "0.5", "-seeds", "1",
+				"-cpuprofile", filepath.Join(dir, "sweep-cpu.pprof"),
+				"-memprofile", filepath.Join(dir, "sweep-mem.pprof")}, 0},
+		{"sweep bad engine", runSweep,
+			[]string{"-engine", "warp"}, 2},
+		{"sweep unwritable memprofile", runSweep,
+			[]string{"-memprofile", filepath.Join(dir, "absent", "mem.pprof")}, 1},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if code := tc.cmd(tc.args, &out, &errb); code != tc.want {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", tc.name, code, tc.want, errb.String())
+		}
+	}
+
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

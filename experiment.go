@@ -134,6 +134,9 @@ func (e *Experiment) Subscribe(oc ObserverConfig) (*Observer, error) {
 	if e.started {
 		return nil, fmt.Errorf("bulletprime: Subscribe after Start")
 	}
+	if e.cfg.Engine == EngineSharded {
+		return nil, fmt.Errorf("bulletprime: sharded runs do not support observers (the sampling hooks are built around a single engine)")
+	}
 	if oc.Every < 0 {
 		return nil, fmt.Errorf("bulletprime: observer Every must be >= 0, got %v", oc.Every)
 	}

@@ -228,6 +228,9 @@ type Hooks struct {
 // Hooks only read state, so an observed run is bit-identical to an
 // unobserved one with the same spec.
 func RunSpec(s SweepSpec) *RunResult {
+	if s.Engine == EngineSharded {
+		return runSpecSharded(s)
+	}
 	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
 	rig := NewRig(topo, s.Seed)
 	var stop func() bool

@@ -1,0 +1,87 @@
+package harness
+
+// Sharded-engine acceptance tests at preset scale: the parallel engine must
+// produce bit-identical completion CDFs to the cooperative single-goroutine
+// oracle on the Scale1000 and Scale5000 clustered presets, and the
+// Scale50000 preset (2000 clusters x 25 on the O(N) compact topology) must
+// complete a full sharded run in bounded time. Seeds are drawn from the
+// wall clock on purpose — equivalence is a property of every seed, not a
+// pinned fixture — and logged so a failure is reproducible.
+
+import (
+	"testing"
+	"time"
+)
+
+// shardedScaleSpec is the scalefill preset run at width n: clusters of 25,
+// default shard count, 15 virtual seconds (the workload completes at ~8.4).
+func shardedScaleSpec(n int, compact bool, seed int64, workers int) SweepSpec {
+	topo := ClusteredTopology(n, 25)
+	if compact {
+		topo = ClusteredTopologyCompact(n, 25)
+	}
+	return SweepSpec{
+		Label:    "scalefill/scale",
+		Seed:     seed,
+		TopoFn:   topo,
+		Workload: Workload{FileBytes: 1.5e6, BlockSize: 16384},
+		Deadline: 15,
+		System:   "scalefill",
+		Engine:   EngineSharded,
+		Workers:  workers,
+	}
+}
+
+// equivalenceAt runs the preset at width n for several randomized seeds and
+// pins workers=1 against workers=K bit for bit.
+func equivalenceAt(t *testing.T, n int, compact bool, seeds int) {
+	t.Helper()
+	base := time.Now().UnixNano()
+	t.Logf("randomized seed base %d (re-run with this value to reproduce)", base)
+	for i := 0; i < seeds; i++ {
+		seed := base + int64(i)*7919
+		serial := RunSpec(shardedScaleSpec(n, compact, seed, 1))
+		parallel := RunSpec(shardedScaleSpec(n, compact, seed, 0))
+		if !serial.Finished || len(serial.PerNode) != n {
+			t.Fatalf("seed %d: oracle finished=%v completions=%d, want all %d",
+				seed, serial.Finished, len(serial.PerNode), n)
+		}
+		assertSameResult(t, "workers 1 vs N", serial, parallel)
+	}
+}
+
+func TestShardedScale1000Equivalence(t *testing.T) {
+	equivalenceAt(t, Scale1000.nodes(100), false, 3)
+}
+
+func TestShardedScale5000Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Scale5000 equivalence is -short-exempt (two full 5000-node sharded runs per seed)")
+	}
+	equivalenceAt(t, Scale5000.nodes(100), true, 2)
+}
+
+// TestScale50000Preset is the sharded engine's target-scale acceptance run:
+// 50000 nodes in 2000 clusters on the compact clustered topology, parallel
+// shards, full scalefill completion. The dense topology at this width would
+// need ~60 GB; the compact form plus the sharded engine is what makes the
+// run possible at all.
+func TestScale50000Preset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Scale50000 is -short-exempt (full-width sharded run)")
+	}
+	n := Scale50000.nodes(100)
+	if n != 50000 {
+		t.Fatalf("Scale50000 nodes = %d, want 50000", n)
+	}
+	start := time.Now()
+	res := RunSpec(shardedScaleSpec(n, true, 20260808, 0))
+	if !res.Finished {
+		t.Fatal("Scale50000 sharded run did not finish before the 15 s horizon")
+	}
+	if len(res.PerNode) != n {
+		t.Fatalf("%d completions, want %d", len(res.PerNode), n)
+	}
+	t.Logf("Scale50000: %d nodes complete at virtual %.2f s, wall %v",
+		len(res.PerNode), res.EndedAt, time.Since(start))
+}

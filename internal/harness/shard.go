@@ -1,0 +1,298 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/trace"
+)
+
+// EngineMode selects how a run executes: the classic single-threaded event
+// loop, or the sharded multi-core engine.
+type EngineMode int
+
+const (
+	// EngineSequential is the default single-threaded loop — one engine,
+	// one goroutine, the bit-exact oracle every other mode is pinned to.
+	EngineSequential EngineMode = iota
+	// EngineSharded partitions the run into per-cluster shards executing
+	// in parallel under a conservative lookahead clock (see sim.Group and
+	// DESIGN.md §9). Requires a clustered topology and a system from the
+	// sharded registry.
+	EngineSharded
+)
+
+// String returns the mode's configuration name.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineSequential:
+		return "sequential"
+	case EngineSharded:
+		return "sharded"
+	}
+	return "unknown"
+}
+
+// DefaultShards is the shard count when a spec leaves it unset. It is a
+// fixed constant, never derived from the host's core count: the shard count
+// shapes RNG streams and per-shard recompute coalescing, so it is part of
+// the experiment's identity — two machines must agree on it to reproduce
+// each other's results. Worker parallelism, which never affects results,
+// is the knob that adapts to hardware.
+const DefaultShards = 8
+
+// ShardPlan maps a clustered topology onto shards: each shard owns a
+// contiguous block of whole clusters, so every intra-cluster link (the only
+// mutable, flow-carrying kind) belongs to exactly one shard.
+type ShardPlan struct {
+	Shards       int
+	NodeShard    []int32 // owning shard per node
+	ClusterShard []int32 // owning shard per cluster
+	Lookahead    float64 // conservative clock lookahead (topology CrossLookahead)
+}
+
+// PlanShards derives a shard plan from the topology's cluster assignment.
+// shards <= 0 picks DefaultShards; the count is capped at the cluster count
+// (a shard must own at least one whole cluster). Topologies without cluster
+// metadata (or without a cross-cluster latency floor) cannot be sharded and
+// panic.
+func PlanShards(topo *netem.Topology, shards int) ShardPlan {
+	if topo.Clusters == nil {
+		panic("harness: sharded run needs a clustered topology (topology has no cluster assignment)")
+	}
+	if topo.CrossLookahead <= 0 {
+		panic("harness: sharded run needs topology.CrossLookahead > 0 (no cross-cluster latency floor)")
+	}
+	numClusters := 0
+	for i, c := range topo.Clusters {
+		if int(c) >= numClusters {
+			numClusters = int(c) + 1
+		}
+		if i > 0 && c < topo.Clusters[i-1] {
+			panic("harness: cluster assignment must be non-decreasing (contiguous cluster blocks)")
+		}
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > numClusters {
+		shards = numClusters
+	}
+	p := ShardPlan{
+		Shards:       shards,
+		NodeShard:    make([]int32, len(topo.Clusters)),
+		ClusterShard: make([]int32, numClusters),
+		Lookahead:    topo.CrossLookahead,
+	}
+	for c := 0; c < numClusters; c++ {
+		p.ClusterShard[c] = int32(c * shards / numClusters)
+	}
+	for i, c := range topo.Clusters {
+		p.NodeShard[i] = p.ClusterShard[c]
+	}
+	return p
+}
+
+// ShardSlot is one shard's private rig: its own engine, network emulator
+// instance, and protocol runtime over the shared read-mostly topology. All
+// flows and connections on a slot stay within its owned nodes (the Owns
+// guard enforces it); the only cross-shard channel is the shard's mailbox.
+type ShardSlot struct {
+	ID       int
+	Shard    *sim.Shard
+	Eng      *sim.Engine
+	Net      *netem.Network
+	RT       *proto.Runtime
+	Members  []netem.NodeID // owned nodes, ascending
+	Clusters []int32        // owned cluster ids, ascending
+	Done     map[netem.NodeID]sim.Time
+}
+
+// ShardedRig is the parallel counterpart of Rig: one topology, one shard
+// group, and one ShardSlot per shard.
+type ShardedRig struct {
+	Topo   *netem.Topology
+	Plan   ShardPlan
+	Group  *sim.Group
+	Slots  []*ShardSlot
+	Master *sim.RNG
+}
+
+// NewShardedRig builds a sharded rig over the topology. Each slot's network
+// gets its own RNG stream ("net#<shard>") so results are a function of
+// (seed, shard count) and nothing else — in particular not of worker
+// goroutine interleaving.
+func NewShardedRig(topo *netem.Topology, seed int64, shards int) *ShardedRig {
+	plan := PlanShards(topo, shards)
+	master := sim.NewRNG(seed)
+	engines := make([]*sim.Engine, plan.Shards)
+	for k := range engines {
+		engines[k] = sim.NewEngine()
+	}
+	group := sim.NewGroup(engines, plan.Lookahead)
+	rig := &ShardedRig{Topo: topo, Plan: plan, Group: group, Master: master}
+	rig.Slots = make([]*ShardSlot, plan.Shards)
+	for k := range rig.Slots {
+		k32 := int32(k)
+		net := netem.New(engines[k], topo, master.Stream(fmt.Sprintf("net#%d", k)))
+		net.Owns = func(id netem.NodeID) bool { return plan.NodeShard[id] == k32 }
+		rt := proto.NewRuntime(engines[k], net)
+		rt.OwnershipHint = func(id netem.NodeID) string {
+			return fmt.Sprintf("node %d belongs to shard %d, this runtime serves shard %d",
+				id, plan.NodeShard[id], k32)
+		}
+		rig.Slots[k] = &ShardSlot{
+			ID:    k,
+			Shard: group.Shard(k),
+			Eng:   engines[k],
+			Net:   net,
+			RT:    rt,
+			Done:  make(map[netem.NodeID]sim.Time),
+		}
+	}
+	for i, s := range plan.NodeShard {
+		slot := rig.Slots[s]
+		slot.Members = append(slot.Members, netem.NodeID(i))
+	}
+	for c, s := range plan.ClusterShard {
+		slot := rig.Slots[s]
+		slot.Clusters = append(slot.Clusters, int32(c))
+	}
+	return rig
+}
+
+// ShardSystem is the common face of one sharded protocol session. Start
+// seeds initial events on every shard's engine (it runs before the group
+// starts, with all engines at time zero); Complete and DoneAt are read
+// after the group run finishes.
+type ShardSystem interface {
+	Start()
+	Complete() bool
+	DoneAt() sim.Time
+}
+
+// ShardBuildCtx carries what a sharded protocol needs to construct one
+// session: the rig (slots, plan, group) and the workload.
+type ShardBuildCtx struct {
+	Rig      *ShardedRig
+	Workload Workload
+}
+
+// ShardSystemBuilder constructs a sharded protocol session. Builders
+// register with RegisterShardedSystem; the registry is separate from the
+// sequential one because a sharded system is built against slots and
+// mailboxes rather than a single rig.
+type ShardSystemBuilder func(ShardBuildCtx) ShardSystem
+
+var (
+	shardSystemsMu sync.RWMutex
+	shardSystems   = make(map[string]ShardSystemBuilder)
+)
+
+// RegisterShardedSystem adds a named sharded protocol builder to the open
+// registry; same contract as RegisterSystem.
+func RegisterShardedSystem(name string, b ShardSystemBuilder) {
+	if name == "" {
+		panic("harness: RegisterShardedSystem with empty name")
+	}
+	if b == nil {
+		panic("harness: RegisterShardedSystem with nil builder")
+	}
+	shardSystemsMu.Lock()
+	defer shardSystemsMu.Unlock()
+	if _, dup := shardSystems[name]; dup {
+		panic(fmt.Sprintf("harness: sharded system %q already registered", name))
+	}
+	shardSystems[name] = b
+}
+
+// LookupShardedSystem returns the registered sharded builder for name.
+func LookupShardedSystem(name string) (ShardSystemBuilder, bool) {
+	shardSystemsMu.RLock()
+	defer shardSystemsMu.RUnlock()
+	b, ok := shardSystems[name]
+	return b, ok
+}
+
+// ShardedSystemNames lists every registered sharded system, sorted.
+func ShardedSystemNames() []string {
+	shardSystemsMu.RLock()
+	defer shardSystemsMu.RUnlock()
+	names := make([]string, 0, len(shardSystems))
+	for n := range shardSystems {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runSpecSharded executes one spec on the sharded engine. The sequential
+// path's scenario programs, rig dynamics, and observation hooks are built
+// around a single engine and are not supported here — sharded systems own
+// their dynamics per shard. Hooks.Stop (polled from shard goroutines) and
+// Hooks.OnResult are honored.
+func runSpecSharded(s SweepSpec) *RunResult {
+	if s.Scenario != nil {
+		panic("harness: sharded runs do not support scenario programs")
+	}
+	if s.Dynamics != nil {
+		panic("harness: sharded runs do not support rig dynamics; sharded systems drive their own per-shard dynamics")
+	}
+	var stop func() bool
+	if s.Hooks != nil {
+		if s.Hooks.OnStart != nil || s.Hooks.OnTick != nil || s.Hooks.OnBlock != nil || s.Hooks.Annotate != nil {
+			panic("harness: sharded runs support only the Stop and OnResult hooks")
+		}
+		stop = s.Hooks.Stop
+	}
+	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
+	rig := NewShardedRig(topo, s.Seed, s.Shards)
+	name := s.systemName()
+	b, ok := LookupShardedSystem(name)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown sharded system %q (registered: %v)", name, ShardedSystemNames()))
+	}
+	sys := b(ShardBuildCtx{Rig: rig, Workload: s.Workload})
+	sys.Start()
+	stopped := rig.Group.Run(s.Deadline, s.Workers, stop)
+
+	// Merge per-shard results in shard order, so aggregates that sum
+	// floats are deterministic.
+	res := &RunResult{
+		Label:    s.Label,
+		PerNode:  make(map[netem.NodeID]sim.Time),
+		Finished: !stopped && sys.Complete(),
+		Stopped:  stopped,
+	}
+	res.CDF = &trace.CDF{}
+	for _, slot := range rig.Slots {
+		for id, at := range slot.Done {
+			res.PerNode[id] = at
+		}
+		res.ControlBytes += slot.RT.ControlBytes
+		res.DataBytes += slot.RT.DataBytes
+		if now := slot.Eng.Now(); now > res.EndedAt {
+			res.EndedAt = now
+		}
+	}
+	// CDF insertion order does not affect the curve, but per-slot loops in
+	// shard order keep even the internal sample layout reproducible.
+	for _, slot := range rig.Slots {
+		ids := make([]netem.NodeID, 0, len(slot.Done))
+		for id := range slot.Done {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			res.CDF.Add(float64(slot.Done[id]))
+		}
+	}
+	if s.Hooks != nil && s.Hooks.OnResult != nil {
+		s.Hooks.OnResult(res)
+	}
+	return res
+}

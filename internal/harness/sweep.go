@@ -30,6 +30,25 @@ type SweepSpec struct {
 	// registered third-party protocols arrive through this field.
 	System string
 
+	// Engine selects the execution engine. EngineSequential (the zero
+	// value) runs the classic single-threaded loop; EngineSharded
+	// partitions the run by topology cluster and executes shards in
+	// parallel under a conservative clock. Sharded runs require a clustered
+	// TopoFn, a system from the sharded registry, and no Scenario.
+	Engine EngineMode
+
+	// Shards is the shard count for EngineSharded; <= 0 picks the default
+	// (DefaultShards, capped at the cluster count). Results depend on the
+	// shard count — it is part of the experiment's identity, never derived
+	// from the host's core count.
+	Shards int
+
+	// Workers caps the goroutines driving a sharded run: 1 runs all shards
+	// cooperatively on one goroutine (the bit-exact oracle of the parallel
+	// mode), any other value runs one goroutine per shard. Results never
+	// depend on Workers.
+	Workers int
+
 	// Scenario optionally applies a compiled scenario program — declarative
 	// link dynamics, trace replay, outages, churn, and flash-crowd waves —
 	// to the rig. A Program is immutable, so one compiled scenario fans

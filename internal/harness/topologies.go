@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"bulletprime/internal/netem"
 	"bulletprime/internal/sim"
 )
@@ -142,22 +144,60 @@ var Scale1000 = Scale{Nodes: 10, File: 1}
 // Scale5000 rig should be live at a time.
 var Scale5000 = Scale{Nodes: 50, File: 1}
 
+// Scale50000 is the sharded engine's target scale: 500x the paper's node
+// count, 2000 clusters of 25. Pair it with ClusteredTopologyCompact — the
+// dense matrices would cost ~60 GB at this size — and EngineSharded, which
+// is what makes a run of this size finish.
+var Scale50000 = Scale{Nodes: 500, File: 1}
+
+// defaultClusterSize resolves a defaulted (<= 0) cluster size to 25, capped
+// at n so small runs form one whole cluster — the same topology the old
+// builder produced for n <= 25. Explicit sizes pass through untouched and
+// face validateClustered as given.
+func defaultClusterSize(n, clusterSize int) int {
+	if clusterSize > 0 {
+		return clusterSize
+	}
+	if n < 25 {
+		return n
+	}
+	return 25
+}
+
+// validateClustered rejects degenerate cluster shapes up front: a cluster
+// needs at least 2 nodes to contain a flow, and a lopsided final cluster
+// (n not divisible by clusterSize) would silently skew both the workload
+// and the shard balance.
+func validateClustered(n, clusterSize int) {
+	if clusterSize < 2 {
+		panic(fmt.Sprintf("harness: clustered topology needs clusterSize >= 2, got %d", clusterSize))
+	}
+	if n <= 0 || n%clusterSize != 0 {
+		panic(fmt.Sprintf("harness: clustered topology needs n %% clusterSize == 0, got %d %% %d = %d "+
+			"(choose a node count that divides into whole clusters)", n, clusterSize, n%clusterSize))
+	}
+}
+
 // ClusteredTopology is the large-scale environment for 1000-node sweeps: n
-// nodes in clusters of roughly clusterSize (default 25 when <= 0), modelling
+// nodes in clusters of exactly clusterSize (default 25 when <= 0), modelling
 // co-located sites. Access links are 6 Mbps as in ModelNet; intra-cluster
 // core links are fast and clean (10 Mbps, U[1,5) ms), inter-cluster links
 // are the scarce resource (1.5 Mbps, U[20,200) ms, loss U[0,2%)). Traffic
 // that stays inside a cluster shares no links with other clusters, which is
 // also what makes the emulator's component-partitioned fair-share effective
-// at this scale.
+// at this scale. n must divide into whole clusters; lopsided shapes panic.
 func ClusteredTopology(n, clusterSize int) func(*sim.RNG) *netem.Topology {
-	if clusterSize <= 0 {
-		clusterSize = 25
-	}
+	clusterSize = defaultClusterSize(n, clusterSize)
+	validateClustered(n, clusterSize)
 	return func(rng *sim.RNG) *netem.Topology {
 		t := netem.NewTopology(n)
 		t.SetUniformAccess(netem.Mbps(6), netem.Mbps(6), netem.MS(1))
+		t.Clusters = make([]int32, n)
+		// Cheapest cross-cluster interaction: 20 ms core floor + both
+		// access delays. This is the sharded engine's lookahead.
+		t.CrossLookahead = netem.MS(20) + 2*netem.MS(1)
 		for i := 0; i < n; i++ {
+			t.Clusters[i] = int32(i / clusterSize)
 			for j := 0; j < n; j++ {
 				if i == j {
 					continue
@@ -174,6 +214,20 @@ func ClusteredTopology(n, clusterSize int) func(*sim.RNG) *netem.Topology {
 			}
 		}
 		return t
+	}
+}
+
+// ClusteredTopologyCompact is ClusteredTopology in O(n) memory: the same
+// cluster structure and parameter distributions, with per-pair draws
+// derived from a hash instead of a sequential RNG (so a 50000-node topology
+// is built in milliseconds and a few megabytes). The rng seeds the hash;
+// individual draws differ from the dense builder but the environment is
+// statistically identical.
+func ClusteredTopologyCompact(n, clusterSize int) func(*sim.RNG) *netem.Topology {
+	clusterSize = defaultClusterSize(n, clusterSize)
+	validateClustered(n, clusterSize)
+	return func(rng *sim.RNG) *netem.Topology {
+		return netem.CompactClusteredTopology(n, clusterSize, rng.Seed())
 	}
 }
 

@@ -24,6 +24,13 @@ import (
 type PerfEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NsCeiling, when positive, is an absolute ns/op bound checked with NO
+	// tolerance: the measurement must come in at or under the ceiling, full
+	// stop. It pins relations between benchmarks rather than drift of one —
+	// e.g. the parallel sharded run must finish within the sequential run's
+	// recorded wall time. Ceilings are set by hand in BENCH_PERF.json;
+	// `perfgate -write` carries them over to the regenerated baseline.
+	NsCeiling float64 `json:"ns_ceiling,omitempty"`
 }
 
 // PerfBaseline is the committed benchmark baseline (BENCH_PERF.json).
@@ -138,10 +145,11 @@ type PerfGateResult struct {
 	Current PerfEntry
 	NsLimit float64
 	// At most one of these is set; a result with none set passed.
-	Missing        bool // baseline benchmark absent from the input
-	NsRegressed    bool // ns/op beyond the tolerated limit
-	AllocRegressed bool // allocs/op above the exact pinned value
-	New            bool // measured benchmark absent from the baseline (informational)
+	Missing         bool // baseline benchmark absent from the input
+	NsRegressed     bool // ns/op beyond the tolerated limit
+	AllocRegressed  bool // allocs/op above the exact pinned value
+	CeilingExceeded bool // ns/op above the absolute ns_ceiling (no tolerance)
+	New             bool // measured benchmark absent from the baseline (informational)
 }
 
 // Gate evaluates measured results against the baseline: every pinned
@@ -179,6 +187,9 @@ func (b *PerfBaseline) Gate(measured map[string]PerfEntry) ([]PerfGateResult, bo
 		case cur.AllocsPerOp > base.AllocsPerOp:
 			r.AllocRegressed = true
 			ok = false
+		case base.NsCeiling > 0 && cur.NsPerOp > base.NsCeiling:
+			r.CeilingExceeded = true
+			ok = false
 		case cur.NsPerOp > r.NsLimit:
 			r.NsRegressed = true
 			ok = false
@@ -199,6 +210,8 @@ func RenderPerfGate(results []PerfGateResult, ok bool) string {
 		switch {
 		case r.AllocRegressed:
 			verdict = "ALLOCS REGRESSED"
+		case r.CeilingExceeded:
+			verdict = fmt.Sprintf("NS CEILING EXCEEDED (%.0f)", r.Base.NsCeiling)
 		case r.NsRegressed:
 			verdict = "NS REGRESSED"
 		case r.Missing:

@@ -105,6 +105,62 @@ func TestPerfGateNsRegression(t *testing.T) {
 	}
 }
 
+func TestPerfGateNsCeiling(t *testing.T) {
+	// The ceiling is absolute: tolerance does not apply to it, and a value
+	// within tolerance but above the ceiling fails.
+	base := &PerfBaseline{
+		NsTolerance: 1.0, // 2x tolerated drift
+		Benchmarks: map[string]PerfEntry{
+			"BenchmarkPar": {NsPerOp: 100, AllocsPerOp: 10, NsCeiling: 150},
+			"BenchmarkSeq": {NsPerOp: 150, AllocsPerOp: 10},
+		},
+	}
+	seq := PerfEntry{NsPerOp: 150, AllocsPerOp: 10}
+
+	// At the ceiling exactly: passes (bound is inclusive).
+	results, ok := base.Gate(map[string]PerfEntry{
+		"BenchmarkPar": {NsPerOp: 150, AllocsPerOp: 10}, "BenchmarkSeq": seq})
+	if !ok {
+		t.Fatalf("measurement at the ceiling must pass: %+v", results)
+	}
+
+	// 160 ns/op is within the 2x drift tolerance but above the 150 ceiling.
+	results, ok = base.Gate(map[string]PerfEntry{
+		"BenchmarkPar": {NsPerOp: 160, AllocsPerOp: 10}, "BenchmarkSeq": seq})
+	if ok {
+		t.Fatal("measurement above the ceiling passed")
+	}
+	var par PerfGateResult
+	for _, r := range results {
+		if r.Name == "BenchmarkPar" {
+			par = r
+		}
+	}
+	if !par.CeilingExceeded || par.NsRegressed {
+		t.Fatalf("want CeilingExceeded only: %+v", par)
+	}
+	rendered := RenderPerfGate(results, ok)
+	if !strings.Contains(rendered, "NS CEILING EXCEEDED (150)") {
+		t.Fatalf("rendered gate missing ceiling verdict:\n%s", rendered)
+	}
+
+	// A ceiling entry round-trips through Save/Load.
+	path := filepath.Join(t.TempDir(), "BENCH_PERF.json")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPerfBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Benchmarks["BenchmarkPar"].NsCeiling; got != 150 {
+		t.Fatalf("NsCeiling lost in round trip: %v", got)
+	}
+	if got := loaded.Benchmarks["BenchmarkSeq"].NsCeiling; got != 0 {
+		t.Fatalf("unexpected ceiling on Seq: %v", got)
+	}
+}
+
 func TestPerfBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_PERF.json")

@@ -1,0 +1,107 @@
+package netem
+
+import (
+	"testing"
+
+	"bulletprime/internal/sim"
+)
+
+func TestCompactClusteredDeterministicAndInRange(t *testing.T) {
+	a := CompactClusteredTopology(100, 25, 42)
+	b := CompactClusteredTopology(100, 25, 42)
+	other := CompactClusteredTopology(100, 25, 43)
+	differs := false
+	for src := NodeID(0); src < 100; src += 7 {
+		for dst := NodeID(0); dst < 100; dst += 3 {
+			if src == dst {
+				continue
+			}
+			if a.CoreBW(src, dst) != b.CoreBW(src, dst) ||
+				a.CoreDelay(src, dst) != b.CoreDelay(src, dst) ||
+				a.CoreLoss(src, dst) != b.CoreLoss(src, dst) {
+				t.Fatalf("pair (%d,%d) not deterministic across builds", src, dst)
+			}
+			if a.CoreDelay(src, dst) != other.CoreDelay(src, dst) {
+				differs = true
+			}
+			same := int(src)/25 == int(dst)/25
+			d, l, bw := a.CoreDelay(src, dst), a.CoreLoss(src, dst), a.CoreBW(src, dst)
+			if same {
+				if bw != Mbps(10) || d < MS(1) || d >= MS(5) || l != 0 {
+					t.Fatalf("intra pair (%d,%d): bw=%v delay=%v loss=%v out of range", src, dst, bw, d, l)
+				}
+			} else {
+				if bw != Mbps(1.5) || d < MS(20) || d >= MS(200) || l < 0 || l >= 0.02 {
+					t.Fatalf("cross pair (%d,%d): bw=%v delay=%v loss=%v out of range", src, dst, bw, d, l)
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical topologies")
+	}
+	if a.CrossLookahead <= 0 {
+		t.Fatal("CrossLookahead not set")
+	}
+	if a.Clusters[0] != 0 || a.Clusters[99] != 3 {
+		t.Fatalf("cluster assignment wrong: %d %d", a.Clusters[0], a.Clusters[99])
+	}
+}
+
+func TestCompactOverlayMutation(t *testing.T) {
+	topo := CompactClusteredTopology(50, 25, 7)
+	base := topo.CoreBW(1, 2)
+	topo.SetCoreBW(1, 2, base/2)
+	if got := topo.CoreBW(1, 2); got != base/2 {
+		t.Fatalf("overlay read %v, want %v", got, base/2)
+	}
+	// Other pairs keep their hash-derived values.
+	if got := topo.CoreBW(2, 1); got != base {
+		t.Fatalf("reverse pair perturbed: %v want %v", got, base)
+	}
+	topo.SetCoreBW(1, 2, base)
+	if got := topo.CoreBW(1, 2); got != base {
+		t.Fatalf("restore read %v, want %v", got, base)
+	}
+	topo.SetCoreDelay(3, 4, 0.5)
+	if got := topo.CoreDelay(3, 4); got != 0.5 {
+		t.Fatalf("delay overlay read %v, want 0.5", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-cluster Set did not panic")
+		}
+	}()
+	topo.SetCoreBW(1, 30, Mbps(1)) // clusters 0 and 1
+}
+
+func TestCompactTopologyValidation(t *testing.T) {
+	for _, tc := range []struct{ n, cs int }{{100, 33}, {100, 1}, {0, 25}, {10, 25}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CompactClusteredTopology(%d, %d) did not panic", tc.n, tc.cs)
+				}
+			}()
+			CompactClusteredTopology(tc.n, tc.cs, 1)
+		}()
+	}
+}
+
+func TestNetworkOwnsGuard(t *testing.T) {
+	eng := sim.NewEngine()
+	topo := CompactClusteredTopology(50, 25, 1)
+	net := New(eng, topo, sim.NewRNG(1).Stream("net"))
+	net.Owns = func(id NodeID) bool { return id < 25 }
+
+	f := net.NewFlow(1, 2) // both owned: fine
+	f.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard NewFlow did not panic")
+		}
+	}()
+	net.NewFlow(1, 30)
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"math"
 	"slices"
 
@@ -31,6 +32,13 @@ type Network struct {
 
 	// RecomputeInterval throttles fair-share recomputation (seconds).
 	RecomputeInterval float64
+
+	// Owns, when set, restricts NewFlow to endpoints this network instance
+	// is responsible for. Sharded runs give each shard its own Network over
+	// a shared topology; every flow must stay inside one shard, because the
+	// waterfill only sees the flows of its own instance. Cross-shard
+	// endpoints panic — such traffic belongs in mailbox posts.
+	Owns func(NodeID) bool
 
 	// FullRecompute forces the original global waterfill over every active
 	// flow on each recomputation. The default (false) re-waterfills only the
@@ -158,6 +166,10 @@ type Flow struct {
 func (n *Network) NewFlow(src, dst NodeID) *Flow {
 	if src == dst {
 		panic("netem: flow endpoints must differ")
+	}
+	if n.Owns != nil && (!n.Owns(src) || !n.Owns(dst)) {
+		panic(fmt.Sprintf("netem: flow %d→%d crosses a shard boundary; "+
+			"cross-shard traffic must travel as timestamped mailbox posts, not flows", src, dst))
 	}
 	n.nextID++
 	f := &Flow{

@@ -48,9 +48,25 @@ type Topology struct {
 	AccessOut   []float64 // outbound access bandwidth per node
 	AccessDelay []float64 // one-way access link delay per node
 
+	// Clusters, when non-nil, records each node's cluster index. Clustered
+	// builders fill it; the sharded harness derives shard ownership from it
+	// (shard = contiguous block of whole clusters).
+	Clusters []int32
+
+	// CrossLookahead is a lower bound on the end-to-end latency of any
+	// inter-cluster interaction, in seconds. It is the lookahead of the
+	// conservative sharded clock: no event on one cluster can affect another
+	// cluster sooner than this. Zero means "unknown" and disables sharding.
+	CrossLookahead float64
+
 	coreBW    []float64 // N*N, indexed [src*N+dst]
 	coreDelay []float64
 	coreLoss  []float64
+
+	// compact, when non-nil, replaces the dense N*N core slices with an
+	// O(N) procedural backend (hash-derived parameters plus per-cluster
+	// mutation overlays). Dense slices are nil in that case.
+	compact *compactCore
 }
 
 // NewTopology allocates a topology for n nodes with all-zero parameters.
@@ -74,22 +90,61 @@ func (t *Topology) idx(src, dst NodeID) int {
 }
 
 // CoreBW returns the core-link bandwidth for the ordered pair src→dst.
-func (t *Topology) CoreBW(src, dst NodeID) float64 { return t.coreBW[t.idx(src, dst)] }
+func (t *Topology) CoreBW(src, dst NodeID) float64 {
+	i := t.idx(src, dst)
+	if t.compact != nil {
+		return t.compact.bw(src, dst)
+	}
+	return t.coreBW[i]
+}
 
 // SetCoreBW sets the core-link bandwidth for the ordered pair src→dst.
-func (t *Topology) SetCoreBW(src, dst NodeID, bw float64) { t.coreBW[t.idx(src, dst)] = bw }
+func (t *Topology) SetCoreBW(src, dst NodeID, bw float64) {
+	i := t.idx(src, dst)
+	if t.compact != nil {
+		t.compact.set(src, dst, overlayBW, bw)
+		return
+	}
+	t.coreBW[i] = bw
+}
 
 // CoreDelay returns the one-way core propagation delay for src→dst.
-func (t *Topology) CoreDelay(src, dst NodeID) float64 { return t.coreDelay[t.idx(src, dst)] }
+func (t *Topology) CoreDelay(src, dst NodeID) float64 {
+	i := t.idx(src, dst)
+	if t.compact != nil {
+		return t.compact.delay(src, dst)
+	}
+	return t.coreDelay[i]
+}
 
 // SetCoreDelay sets the one-way core propagation delay for src→dst.
-func (t *Topology) SetCoreDelay(src, dst NodeID, d float64) { t.coreDelay[t.idx(src, dst)] = d }
+func (t *Topology) SetCoreDelay(src, dst NodeID, d float64) {
+	i := t.idx(src, dst)
+	if t.compact != nil {
+		t.compact.set(src, dst, overlayDelay, d)
+		return
+	}
+	t.coreDelay[i] = d
+}
 
 // CoreLoss returns the random-loss probability on the core link src→dst.
-func (t *Topology) CoreLoss(src, dst NodeID) float64 { return t.coreLoss[t.idx(src, dst)] }
+func (t *Topology) CoreLoss(src, dst NodeID) float64 {
+	i := t.idx(src, dst)
+	if t.compact != nil {
+		return t.compact.loss(src, dst)
+	}
+	return t.coreLoss[i]
+}
 
 // SetCoreLoss sets the random-loss probability on the core link src→dst.
-func (t *Topology) SetCoreLoss(src, dst NodeID, p float64) { t.coreLoss[t.idx(src, dst)] = p }
+func (t *Topology) SetCoreLoss(src, dst NodeID, p float64) {
+	i := t.idx(src, dst)
+	if t.compact != nil {
+		t.compact.set(src, dst, overlayLoss, p)
+		return
+	}
+	t.coreLoss[i] = p
+}
 
 // SetUniformAccess configures every node with the same access parameters.
 func (t *Topology) SetUniformAccess(in, out, delay float64) {
@@ -106,7 +161,7 @@ func (t *Topology) OneWayDelay(src, dst NodeID) float64 {
 	if src == dst {
 		return 0
 	}
-	return t.AccessDelay[src] + t.coreDelay[t.idx(src, dst)] + t.AccessDelay[dst]
+	return t.AccessDelay[src] + t.CoreDelay(src, dst) + t.AccessDelay[dst]
 }
 
 // RTT returns the round-trip time between src and dst: the forward one-way

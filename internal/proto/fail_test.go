@@ -1,8 +1,10 @@
 package proto
 
 import (
+	"strings"
 	"testing"
 
+	"bulletprime/internal/netem"
 	"bulletprime/internal/sim"
 )
 
@@ -84,4 +86,20 @@ func TestFailMidTransferDropsDelivery(t *testing.T) {
 	if delivered {
 		t.Fatal("message delivered despite sender crashing mid-transfer")
 	}
+}
+
+func TestDialUnregisteredNodeHint(t *testing.T) {
+	_, rt := newRig(2)
+	rt.OwnershipHint = func(id netem.NodeID) string { return "node belongs to shard 3" }
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("dial to unregistered node did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "shard 3") {
+			t.Fatalf("panic %q does not carry the ownership hint", r)
+		}
+	}()
+	rt.Node(0).Dial(9)
 }

@@ -98,6 +98,13 @@ type Runtime struct {
 	// delivery path nothing but a nil check.
 	DataMeter *trace.RateMeter
 
+	// OwnershipHint, when set, explains why a node is not registered here.
+	// Sharded runs give each shard its own Runtime; dialing a node that
+	// lives on another shard is a protocol-layer bug, and the hint (e.g.
+	// "node 130 belongs to shard 3") turns the resulting panic from a
+	// mystery into a diagnosis.
+	OwnershipHint func(netem.NodeID) string
+
 	msgFree *msgNode // message-node pool
 	msgLen  int
 }
@@ -251,6 +258,9 @@ type Conn struct {
 func (n *Node) Dial(to netem.NodeID) *Conn {
 	remote := n.rt.nodes[to]
 	if remote == nil {
+		if n.rt.OwnershipHint != nil {
+			panic(fmt.Sprintf("proto: dial to unregistered node %d (%s)", to, n.rt.OwnershipHint(to)))
+		}
 		panic(fmt.Sprintf("proto: dial to unregistered node %d", to))
 	}
 	if remote == n {

@@ -331,6 +331,22 @@ func (e *Engine) ScheduleEvent(at Time, target Handler, kind int32, payload any)
 	return EventRef{ev: ev, gen: ev.gen}
 }
 
+// Dispatch executes target.OnEvent(kind, payload) immediately, advancing
+// the clock to at. It is the delivery half of cross-shard mailboxes: a
+// timestamped event that arrived from another shard's engine is injected
+// here without ever entering this engine's queue, so it costs no node and
+// participates in Executed accounting like any local event. Dispatching
+// before Now or at NaN panics, same as scheduling.
+func (e *Engine) Dispatch(at Time, target Handler, kind int32, payload any) {
+	e.checkAt(at)
+	if target == nil {
+		panic("sim: Dispatch with nil target")
+	}
+	e.now = at
+	e.Executed++
+	target.OnEvent(kind, payload)
+}
+
 // After runs fn after d seconds of virtual time. Negative delays (including
 // -Inf) clamp to 0; NaN panics.
 func (e *Engine) After(d Duration, fn func()) EventRef {

@@ -1,0 +1,148 @@
+package sim
+
+import "sync/atomic"
+
+// crossEvent is one cross-shard event in flight: a typed event stamped with
+// its delivery time and a deterministic total-order key (origin shard id,
+// per-origin send sequence). The key is assigned by the sender's
+// single-threaded event loop, so it is independent of goroutine
+// interleaving; receivers merge cross events with their local queue by
+// (at, origin, seq).
+type crossEvent struct {
+	at      Time
+	origin  int32
+	kind    int32
+	seq     uint64
+	payload any
+}
+
+// mchunkCap is the event capacity of one mailbox chunk. Chunks amortize
+// allocation: one allocation buys 256 sends, and drained chunks are garbage
+// collected, so an idle pair costs one resident chunk.
+const mchunkCap = 256
+
+// mchunk is one fixed-size segment of a mailbox. The writer fills ev[0:n)
+// and publishes progress through n; next links to the successor chunk once
+// this one is full.
+type mchunk struct {
+	ev   [mchunkCap]crossEvent
+	n    atomic.Int32
+	next atomic.Pointer[mchunk]
+}
+
+// mailbox is an unbounded single-producer single-consumer event queue: a
+// linked list of chunks where the producer owns the tail and the consumer
+// owns the head. The producer publishes each event by storing the chunk's
+// committed count (atomic store); the consumer observes committed events by
+// loading it (atomic load), which is the happens-before edge that makes the
+// plain element writes visible. FIFO order is preserved, which the shard
+// merge relies on: per-origin send sequences arrive monotonically.
+type mailbox struct {
+	head    *mchunk // consumer-owned cursor
+	readIdx int     // consumed prefix of head
+	tail    *mchunk // producer-owned cursor
+}
+
+func newMailbox() *mailbox {
+	c := &mchunk{}
+	return &mailbox{head: c, tail: c}
+}
+
+// push appends one event; producer-only.
+func (q *mailbox) push(e crossEvent) {
+	t := q.tail
+	n := t.n.Load()
+	if n == mchunkCap {
+		nc := &mchunk{}
+		// Link before any event is committed into the new chunk, so a
+		// consumer that drains the old chunk dry can always follow next.
+		t.next.Store(nc)
+		q.tail = nc
+		t = nc
+		n = 0
+	}
+	t.ev[n] = e
+	t.n.Store(n + 1)
+}
+
+// drain consumes every event committed at call time, in FIFO order;
+// consumer-only. Events pushed concurrently with the drain may or may not
+// be seen; the shard protocol's clock-then-drain ordering guarantees that
+// anything missed has a delivery time at or beyond the reader's safe bound.
+func (q *mailbox) drain(fn func(crossEvent)) {
+	for {
+		c := q.head
+		n := int(c.n.Load())
+		for q.readIdx < n {
+			e := c.ev[q.readIdx]
+			c.ev[q.readIdx] = crossEvent{} // drop payload reference
+			q.readIdx++
+			fn(e)
+		}
+		if n < mchunkCap {
+			return
+		}
+		next := c.next.Load()
+		if next == nil {
+			return
+		}
+		q.head = next
+		q.readIdx = 0
+	}
+}
+
+// crossHeap is a min-heap of pending cross events ordered by the global
+// merge key (at, origin, seq): delivery time first, then origin shard id,
+// then the origin's send sequence. The key is strictly total — one origin
+// never reuses a sequence number — so heap order is deterministic.
+type crossHeap []crossEvent
+
+func crossLess(a, b crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.seq < b.seq
+}
+
+func (h *crossHeap) push(e crossEvent) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !crossLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *crossHeap) pop() crossEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = crossEvent{}
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && crossLess(s[l], s[small]) {
+			small = l
+		}
+		if r < n && crossLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	*h = s
+	return top
+}

@@ -141,4 +141,5 @@ func init() {
 	networks[NetworkHighBDP] = func(n int) TopologyFn { return harness.HighBDPTopology(n, 0, 0) }
 	networks[NetworkPlanetLab] = func(n int) TopologyFn { return harness.PlanetLabTopology(n) }
 	networks[NetworkClustered] = func(n int) TopologyFn { return harness.ClusteredTopology(n, 0) }
+	networks[NetworkClusteredCompact] = func(n int) TopologyFn { return harness.ClusteredTopologyCompact(n, 0) }
 }

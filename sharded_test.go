@@ -1,0 +1,118 @@
+package bulletprime_test
+
+import (
+	"strings"
+	"testing"
+
+	"bulletprime"
+)
+
+// shardedCfg is the façade sharded-run fixture: 4 clusters of 25 on the
+// clustered preset, running the scalefill reference workload.
+func shardedCfg(seed int64, workers int) bulletprime.RunConfig {
+	return bulletprime.RunConfig{
+		Protocol:     bulletprime.ProtocolScalefill,
+		Nodes:        100,
+		FileBytes:    1.5e6,
+		Network:      bulletprime.NetworkClustered,
+		Seed:         seed,
+		Deadline:     60,
+		Engine:       bulletprime.EngineSharded,
+		Shards:       4,
+		ShardWorkers: workers,
+	}
+}
+
+func TestShardedRunThroughFacade(t *testing.T) {
+	res, err := bulletprime.Run(shardedCfg(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("sharded run did not finish")
+	}
+	if len(res.CompletionTimes) != 100 {
+		t.Fatalf("%d completion times, want 100 (every node pulls)", len(res.CompletionTimes))
+	}
+}
+
+// TestShardedFacadeWorkerEquivalence pins the façade path end to end: the
+// cooperative single-goroutine oracle (ShardWorkers=1) and the parallel
+// mode must return bit-identical results.
+func TestShardedFacadeWorkerEquivalence(t *testing.T) {
+	serial, err := bulletprime.Run(shardedCfg(11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := bulletprime.Run(shardedCfg(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.CompletionTimes) != len(parallel.CompletionTimes) {
+		t.Fatalf("completion counts differ: %d vs %d",
+			len(serial.CompletionTimes), len(parallel.CompletionTimes))
+	}
+	for id, at := range serial.CompletionTimes {
+		if bt := parallel.CompletionTimes[id]; bt != at {
+			t.Fatalf("node %d: %v vs %v (not bit-identical)", id, at, bt)
+		}
+	}
+	if serial.Elapsed != parallel.Elapsed {
+		t.Fatalf("Elapsed differs: %v vs %v", serial.Elapsed, parallel.Elapsed)
+	}
+}
+
+func TestShardedCompactNetworkPreset(t *testing.T) {
+	cfg := shardedCfg(3, 0)
+	cfg.Network = bulletprime.NetworkClusteredCompact
+	res, err := bulletprime.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || len(res.CompletionTimes) != 100 {
+		t.Fatalf("compact sharded run: finished=%v completions=%d",
+			res.Finished, len(res.CompletionTimes))
+	}
+}
+
+func TestShardedConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*bulletprime.RunConfig)
+		want string
+	}{
+		{"scenario", func(c *bulletprime.RunConfig) {
+			c.Scenario = &bulletprime.Scenario{Name: "x"}
+		}, "scenario"},
+		{"dynamic bandwidth", func(c *bulletprime.RunConfig) {
+			c.DynamicBandwidth = true
+		}, "DynamicBandwidth"},
+		{"sequential-only protocol", func(c *bulletprime.RunConfig) {
+			c.Protocol = bulletprime.ProtocolBulletPrime
+		}, "not registered for sharded"},
+	}
+	for _, tc := range cases {
+		cfg := shardedCfg(1, 0)
+		tc.mut(&cfg)
+		if _, err := bulletprime.New(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Shard knobs without the sharded engine are a misconfiguration, not a
+	// silent no-op.
+	cfg := bulletprime.RunConfig{Nodes: 10, FileBytes: 1e6, Shards: 4}
+	if _, err := bulletprime.New(cfg); err == nil || !strings.Contains(err.Error(), "EngineSharded") {
+		t.Errorf("Shards without sharded engine: error %v", err)
+	}
+}
+
+func TestShardedSubscribeRejected(t *testing.T) {
+	exp, err := bulletprime.New(shardedCfg(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Subscribe(bulletprime.ObserverConfig{}); err == nil {
+		t.Fatal("Subscribe on a sharded session did not error")
+	}
+}
