@@ -74,6 +74,19 @@ type configFingerprint struct {
 	// omitempty keeps every pre-sharding sequential record's id stable.
 	Engine EngineMode `json:"engine,omitempty"`
 	Shards int        `json:"shards,omitempty"`
+	// Testbed captures the result-shaping knobs of a real-socket run; nil
+	// for emulated runs, keeping every pre-testbed record's id stable.
+	// Address knobs (ListenHost, Peers) are execution details and excluded.
+	Testbed *testbedFingerprint `json:"testbed,omitempty"`
+}
+
+// testbedFingerprint is the identity-bearing slice of TestbedOptions.
+type testbedFingerprint struct {
+	Rate       float64 `json:"rate,omitempty"`
+	RTO        float64 `json:"rto,omitempty"`
+	MaxRetries int     `json:"max_retries,omitempty"`
+	DropProb   float64 `json:"drop_prob,omitempty"`
+	DropSeed   int64   `json:"drop_seed,omitempty"`
 }
 
 // fingerprint renders a normalized config's canonical JSON plus the
@@ -106,6 +119,15 @@ func fingerprint(cfg RunConfig, seriesEvery float64) (configJSON []byte, scenari
 		Encoded:           cfg.Encoded,
 		Engine:            cfg.Engine,
 		Shards:            cfg.Shards,
+	}
+	if cfg.Network == NetworkTestbedUDP && cfg.Testbed != nil {
+		fp.Testbed = &testbedFingerprint{
+			Rate:       cfg.Testbed.Rate,
+			RTO:        cfg.Testbed.RTO,
+			MaxRetries: cfg.Testbed.MaxRetries,
+			DropProb:   cfg.Testbed.DropProb,
+			DropSeed:   cfg.Testbed.DropSeed,
+		}
 	}
 	configJSON, err = json.Marshal(fp)
 	if err != nil {

@@ -139,7 +139,40 @@ const (
 	// matrices, statistically identical to NetworkClustered. The only
 	// preset that fits 50000 nodes; pair it with EngineSharded.
 	NetworkClusteredCompact NetworkPreset = "clustered-compact"
+	// NetworkTestbedUDP: no emulation at all — the protocols run over real
+	// UDP sockets (loopback by default, a peer address table for
+	// multi-host), with the engine's virtual clock driven by the wall
+	// clock. Tune it with RunConfig.Testbed; incompatible with
+	// EngineSharded, Scenario, DynamicBandwidth, and observers. See
+	// DESIGN.md §10.
+	NetworkTestbedUDP NetworkPreset = "testbed-udp"
 )
+
+// TestbedOptions tunes a NetworkTestbedUDP run; the zero value is the
+// loopback default (127.0.0.1, real-time clock, 50 ms RTO, 8 retries, no
+// injected loss).
+type TestbedOptions struct {
+	// ListenHost is the bind address for nodes without a Peers entry;
+	// empty means 127.0.0.1 with auto-assigned ports.
+	ListenHost string
+	// Peers pins listen addresses ("host:port") per node id — the address
+	// table of a multi-host deployment.
+	Peers map[int]string
+	// Rate is virtual seconds per wall second; 0 means 1 (real time).
+	// Raising it accelerates the protocols' periodic timers against the
+	// wall clock.
+	Rate float64
+	// RTO is the wall-clock retransmission timeout in seconds before the
+	// first resend (each retry doubles it); 0 picks the default 50 ms.
+	RTO float64
+	// MaxRetries bounds resends per frame before the node pair is declared
+	// dead; 0 picks the default 8.
+	MaxRetries int
+	// DropProb injects deterministic uniform packet loss on every
+	// transmission attempt (a test hook; DropSeed seeds the injector).
+	DropProb float64
+	DropSeed int64
+}
 
 // RequestStrategy re-exports the §3.3.2 request orderings.
 type RequestStrategy = core.RequestStrategy
@@ -206,6 +239,10 @@ type RunConfig struct {
 	// parallel mode), 0 or any other value runs one goroutine per shard.
 	// Results never depend on it.
 	ShardWorkers int
+	// Testbed tunes a NetworkTestbedUDP run (clock rate, retransmission,
+	// loss injection, peer addresses); nil picks the loopback defaults.
+	// Setting it with any other network preset is an error.
+	Testbed *TestbedOptions
 	// Archive, when set, persists every completed run — and every sweep
 	// cell using this config as its base — into the experiment archive,
 	// keyed by a deterministic hash of the normalized config, scenario
@@ -252,6 +289,33 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 		cfg.SampleEvery = 1
 	case cfg.SampleEvery < 0:
 		cfg.SampleEvery = -1 // canonical "series disabled"
+	}
+	// The testbed combination rules live here, next to the sharded ones, so
+	// every entry point rejects a conflicted config with the same message.
+	if cfg.Network == NetworkTestbedUDP {
+		if cfg.Engine == EngineSharded {
+			return cfg, fmt.Errorf("bulletprime: testbed runs do not support the sharded engine (one wall clock cannot drive parallel shard clocks)")
+		}
+		if cfg.Scenario != nil {
+			return cfg, fmt.Errorf("bulletprime: testbed runs do not support scenarios (scenario programs drive the emulated network)")
+		}
+		if cfg.DynamicBandwidth {
+			return cfg, fmt.Errorf("bulletprime: testbed runs do not support DynamicBandwidth (there is no emulated bandwidth to change)")
+		}
+		if cfg.Testbed == nil {
+			cfg.Testbed = &TestbedOptions{}
+		}
+		if cfg.Testbed.Rate < 0 || cfg.Testbed.RTO < 0 || cfg.Testbed.MaxRetries < 0 {
+			return cfg, fmt.Errorf("bulletprime: Testbed Rate/RTO/MaxRetries must be >= 0")
+		}
+		if cfg.Testbed.DropProb < 0 || cfg.Testbed.DropProb >= 1 {
+			return cfg, fmt.Errorf("bulletprime: Testbed DropProb must be in [0, 1), got %v", cfg.Testbed.DropProb)
+		}
+		// Testbed runs keep no sampled time-series: the recorder's cadence
+		// is calibrated against the deterministic emulated clock.
+		cfg.SampleEvery = -1
+	} else if cfg.Testbed != nil {
+		return cfg, fmt.Errorf("bulletprime: Testbed options require Network: NetworkTestbedUDP, got %q", cfg.Network)
 	}
 	if cfg.Engine == EngineSharded {
 		if cfg.Scenario != nil {
@@ -318,6 +382,19 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		c.Encoded = cfg.Encoded
 	}
 
+	var tb *harness.TestbedSpec
+	if cfg.Network == NetworkTestbedUDP {
+		tb = &harness.TestbedSpec{
+			ListenHost: cfg.Testbed.ListenHost,
+			Peers:      cfg.Testbed.Peers,
+			Rate:       cfg.Testbed.Rate,
+			RTO:        cfg.Testbed.RTO,
+			MaxRetries: cfg.Testbed.MaxRetries,
+			DropProb:   cfg.Testbed.DropProb,
+			DropSeed:   cfg.Testbed.DropSeed,
+		}
+	}
+
 	return harness.SweepSpec{
 		Label:    fmt.Sprintf("%s/%s/seed%d", cfg.Protocol, cfg.Network, cfg.Seed),
 		Seed:     cfg.Seed,
@@ -331,6 +408,7 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		Engine:   cfg.Engine,
 		Shards:   cfg.Shards,
 		Workers:  cfg.ShardWorkers,
+		Testbed:  tb,
 	}, nil
 }
 

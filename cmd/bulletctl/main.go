@@ -11,6 +11,8 @@
 //	bulletctl -figure 5 -scale 1   # full paper scale (100 nodes, 100 MB)
 //	bulletctl -list
 //	bulletctl run -nodes 30 -filemb 10 -scenario rush.json -seed 1 -progress
+//	bulletctl run -nodes 8 -filemb 0.25 -network testbed-udp -rate 25 -timeout 60
+//	bulletctl crosscheck -nodes 8 -filemb 0.25 -rate 25 -archive bench/
 //	bulletctl sweep -nodes 100 -seeds 4 -protocols bulletprime,bittorrent -parallel 8
 //	bulletctl sweep -seeds 4 -protocols bulletprime,bittorrent -archive bench/
 //	bulletctl scenario lint -nodes 30 rush.json
@@ -55,15 +57,16 @@ func main() {
 // subcommands maps every verb to its implementation; dispatch and the
 // usage text share it.
 var subcommands = map[string]func(args []string, stdout, stderr io.Writer) int{
-	"run":      runSingle,
-	"sweep":    runSweep,
-	"scenario": runScenario,
-	"ls":       runLs,
-	"show":     runShow,
-	"compare":  runCompare,
-	"report":   runReport,
-	"gate":     runGate,
-	"perfgate": runPerfGate,
+	"run":        runSingle,
+	"crosscheck": runCrosscheck,
+	"sweep":      runSweep,
+	"scenario":   runScenario,
+	"ls":         runLs,
+	"show":       runShow,
+	"compare":    runCompare,
+	"report":     runReport,
+	"gate":       runGate,
+	"perfgate":   runPerfGate,
 }
 
 func usage(w io.Writer) {
@@ -255,6 +258,11 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		version  = fs.String("version", "", "code version stamped onto archived runs (default: binary VCS revision, or dev)")
 		engine   = fs.String("engine", "sequential", "execution engine: sequential or sharded (sharded needs a clustered network and a sharded protocol, e.g. scalefill)")
 		shards   = fs.Int("shards", 0, "shard count for -engine sharded (0 = default; part of the experiment's identity)")
+		timeout  = fs.Float64("timeout", 0, "wall-clock bound in seconds; on expiry the run stops, prints partial results, and exits 1")
+		rate     = fs.Float64("rate", 0, "testbed-udp: virtual seconds per wall second (0 = real time)")
+		rto      = fs.Float64("rto", 0, "testbed-udp: wall retransmission timeout in seconds (0 = default 0.05)")
+		drop     = fs.Float64("drop", 0, "testbed-udp: injected uniform packet-loss probability")
+		dropseed = fs.Int64("dropseed", 0, "testbed-udp: loss-injector seed")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
@@ -267,6 +275,13 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 	}
 	mode, ok := parseEngine(*engine, stderr)
 	if !ok {
+		return 2
+	}
+	var testbed *bulletprime.TestbedOptions
+	if bulletprime.NetworkPreset(*network) == bulletprime.NetworkTestbedUDP {
+		testbed = &bulletprime.TestbedOptions{Rate: *rate, RTO: *rto, DropProb: *drop, DropSeed: *dropseed}
+	} else if *rate != 0 || *rto != 0 || *drop != 0 || *dropseed != 0 {
+		fmt.Fprintln(stderr, "bulletctl run: -rate/-rto/-drop/-dropseed require -network testbed-udp")
 		return 2
 	}
 	scen, ok := loadScenario(*scenFile, stderr)
@@ -290,6 +305,7 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		Deadline:         *deadline,
 		Engine:           mode,
 		Shards:           *shards,
+		Testbed:          testbed,
 		// The CLI prints aggregates and streams -progress through an
 		// observer; it never reads Result.Series.
 		SampleEvery: -1,
@@ -326,6 +342,11 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 	}
 	ctx, stop := interruptContext()
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(*timeout*float64(time.Second)))
+		defer cancel()
+	}
 	res, err := exp.Run(ctx)
 	profOK := prof.stop(stderr)
 	if err != nil && res == nil {
@@ -349,10 +370,122 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bulletctl:", err)
 		return 1
 	}
+	if res.Cancelled && *timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "bulletctl: run exceeded -timeout %vs\n", *timeout)
+		return 1
+	}
 	if id := exp.RunID(); id != "" {
 		fmt.Fprintf(stderr, "archived as %s in %s\n", id, *archDir)
 	}
 	fmt.Fprintf(stderr, "[run, %.1fs wall]\n", time.Since(start).Seconds())
+	return 0
+}
+
+// runCrosscheck implements the crosscheck subcommand: the sim-vs-testbed
+// comparison harness. One configuration runs twice — once on the emulated
+// clean ModelNet network and once over real loopback UDP sockets — and the
+// two completion-time CDFs are diffed into the archive layer's quantile
+// comparison report. With -archive, both runs are recorded (each under its
+// own content address) before the report prints.
+func runCrosscheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crosscheck", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 8, "overlay size including the source")
+		fileMB   = fs.Float64("filemb", 0.25, "file size in MB")
+		protocol = fs.String("protocol", "bulletprime", "protocol (any registered)")
+		seed     = fs.Int64("seed", 1, "master random seed (shared by both runs)")
+		deadline = fs.Float64("deadline", 1800, "virtual-time deadline in seconds")
+		rate     = fs.Float64("rate", 25, "testbed clock rate: virtual seconds per wall second")
+		drop     = fs.Float64("drop", 0, "testbed injected uniform packet-loss probability")
+		dropseed = fs.Int64("dropseed", 0, "testbed loss-injector seed")
+		archDir  = fs.String("archive", "", "record both runs into this experiment archive")
+		version  = fs.String("version", "", "code version stamped onto archived runs")
+	)
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bulletctl crosscheck: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	arch, ok := openArchiveFlag(*archDir, *version, stderr)
+	if !ok {
+		return 1
+	}
+
+	base := bulletprime.RunConfig{
+		Protocol:    bulletprime.Protocol(*protocol),
+		Nodes:       *nodes,
+		FileBytes:   *fileMB * 1e6,
+		Seed:        *seed,
+		Deadline:    *deadline,
+		SampleEvery: -1,
+		Archive:     arch,
+	}
+	simCfg := base
+	// The emulated twin of the testbed preset's neutral overlay topology.
+	simCfg.Network = bulletprime.NetworkModelNetClean
+	tbCfg := base
+	tbCfg.Network = bulletprime.NetworkTestbedUDP
+	tbCfg.Testbed = &bulletprime.TestbedOptions{Rate: *rate, DropProb: *drop, DropSeed: *dropseed}
+
+	// Validate both configurations before spending wall-clock time on
+	// either run.
+	simExp, err := bulletprime.New(simCfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl: emulated:", err)
+		return 1
+	}
+	tbExp, err := bulletprime.New(tbCfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl: testbed-udp:", err)
+		return 1
+	}
+
+	start := time.Now()
+	ctx, stop := interruptContext()
+	defer stop()
+	runOne := func(label string, exp *bulletprime.Experiment) (*bulletprime.Result, string, bool) {
+		res, err := exp.Run(ctx)
+		if err != nil {
+			// Setup failure (empty result) or a failed archive record; either
+			// way the comparison would be meaningless.
+			fmt.Fprintf(stderr, "bulletctl: %s: %v\n", label, err)
+			return nil, "", false
+		}
+		if res.Cancelled {
+			fmt.Fprintf(stderr, "bulletctl: %s run cancelled\n", label)
+			return nil, "", false
+		}
+		fmt.Fprintf(stderr, "[%s done: %d completions, median %.1fs virtual]\n",
+			label, len(res.CompletionTimes), res.Median())
+		return res, exp.RunID(), true
+	}
+	simRes, simID, ok := runOne("emulated", simExp)
+	if !ok {
+		return 1
+	}
+	tbRes, tbID, ok := runOne("testbed-udp", tbExp)
+	if !ok {
+		return 1
+	}
+
+	mkRun := func(cfg bulletprime.RunConfig, res *bulletprime.Result) *bulletprime.ArchivedRun {
+		r := &bulletprime.ArchivedRun{CompletionTimes: res.CompletionTimes}
+		r.Meta.Seed = cfg.Seed
+		r.Meta.Protocol = string(cfg.Protocol)
+		r.Meta.Network = string(cfg.Network)
+		return r
+	}
+	cmp := bulletprime.CompareArchived(
+		"emulated", []*bulletprime.ArchivedRun{mkRun(simCfg, simRes)},
+		"testbed-udp", []*bulletprime.ArchivedRun{mkRun(tbCfg, tbRes)},
+	)
+	fmt.Fprint(stdout, cmp.Report())
+	if simID != "" || tbID != "" {
+		fmt.Fprintf(stderr, "archived as %s (emulated) and %s (testbed) in %s\n", simID, tbID, *archDir)
+	}
+	fmt.Fprintf(stderr, "[crosscheck, %.1fs wall]\n", time.Since(start).Seconds())
 	return 0
 }
 

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// single runs the run subcommand and returns its exit code plus output.
+func single(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = runSingle(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// crosscheck runs the crosscheck subcommand and returns its exit code plus
+// output.
+func crosscheck(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = runCrosscheck(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunTestbedExitCodes(t *testing.T) {
+	// 2: testbed knobs without the testbed network.
+	if code, _, stderr := single(t, "-rate", "50"); code != 2 || !strings.Contains(stderr, "testbed-udp") {
+		t.Fatalf("-rate without testbed network: exit %d (stderr %q), want 2 naming testbed-udp", code, stderr)
+	}
+	if code, _, _ := single(t, "-drop", "0.1"); code != 2 {
+		t.Fatalf("-drop without testbed network: exit %d, want 2", code)
+	}
+
+	// 1: testbed network rejects emulator-only features at validation.
+	if code, _, stderr := single(t, "-network", "testbed-udp", "-engine", "sharded"); code != 1 ||
+		!strings.Contains(stderr, "sharded") {
+		t.Fatalf("testbed+sharded: exit %d (stderr %q), want 1 naming the conflict", code, stderr)
+	}
+
+	if testing.Short() {
+		t.Skip("wall-clock testbed runs skipped with -short")
+	}
+
+	// 0: a real loopback run completes and prints the summary table.
+	code, stdout, _ := single(t, "-nodes", "8", "-filemb", "0.064", "-network", "testbed-udp", "-rate", "50")
+	if code != 0 {
+		t.Fatalf("loopback testbed run: exit %d, want 0 (stdout %q)", code, stdout)
+	}
+	if !strings.Contains(stdout, "median") {
+		t.Fatalf("testbed run output missing summary: %q", stdout)
+	}
+}
+
+func TestRunTimeoutExitsOneWithPartialResults(t *testing.T) {
+	// A testbed run whose clock barely advances cannot finish before the
+	// wall bound: rate 0.01 maps 0.25s of wall time to 2.5ms of virtual
+	// time, so the timeout always wins.
+	code, stdout, stderr := single(t, "-nodes", "8", "-filemb", "0.064",
+		"-network", "testbed-udp", "-rate", "0.01", "-timeout", "0.25")
+	if code != 1 {
+		t.Fatalf("timed-out run: exit %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "partial") {
+		t.Fatalf("timed-out run did not flag partial results: %q", stdout)
+	}
+	if !strings.Contains(stderr, "-timeout") {
+		t.Fatalf("timed-out run stderr does not name the bound: %q", stderr)
+	}
+}
+
+func TestCrosscheckExitCodes(t *testing.T) {
+	// 2: usage errors — positional argument, unknown flag.
+	if code, _, _ := crosscheck(t, "extra"); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+	if code, _, _ := crosscheck(t, "-warp", "9"); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+
+	// 1: validation failure surfaces from the testbed config.
+	if code, _, _ := crosscheck(t, "-drop", "1.5"); code != 1 {
+		t.Fatalf("bad drop probability: exit %d, want 1", code)
+	}
+
+	if testing.Short() {
+		t.Skip("wall-clock testbed runs skipped with -short")
+	}
+
+	// 0: the happy path runs both backends, archives both, and prints the
+	// quantile-delta report with both labels.
+	dir := t.TempDir()
+	code, stdout, stderr := crosscheck(t, "-nodes", "8", "-filemb", "0.064",
+		"-rate", "50", "-archive", dir)
+	if code != 0 {
+		t.Fatalf("crosscheck: exit %d, want 0 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "emulated") || !strings.Contains(stdout, "testbed-udp") {
+		t.Fatalf("report missing backend labels: %q", stdout)
+	}
+	if !strings.Contains(stderr, "archived as") {
+		t.Fatalf("crosscheck did not report the archive ids: %q", stderr)
+	}
+}

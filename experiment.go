@@ -137,6 +137,9 @@ func (e *Experiment) Subscribe(oc ObserverConfig) (*Observer, error) {
 	if e.cfg.Engine == EngineSharded {
 		return nil, fmt.Errorf("bulletprime: sharded runs do not support observers (the sampling hooks are built around a single engine)")
 	}
+	if e.cfg.Network == NetworkTestbedUDP {
+		return nil, fmt.Errorf("bulletprime: testbed runs do not support observers (sampling cadences are calibrated against the emulated clock)")
+	}
 	if oc.Every < 0 {
 		return nil, fmt.Errorf("bulletprime: observer Every must be >= 0, got %v", oc.Every)
 	}
@@ -244,6 +247,18 @@ func (e *Experiment) run(ctx context.Context) {
 	spec.Hooks = &hooks
 	hres := harness.RunSpec(spec)
 	res := toResult(hres)
+	if hres.Err != nil {
+		// The run never executed (testbed setup failure); surface it through
+		// Wait alongside the empty result, and never archive it.
+		e.res = res
+		e.recordErr = hres.Err
+		e.seriesEvery = -1
+		for _, o := range e.observers {
+			close(o.ch)
+		}
+		close(e.done)
+		return
+	}
 	if rec != nil && rec.rig != nil {
 		// Flush a closing sample so the series covers the tail (or, for a
 		// cancelled run, the stop instant).
@@ -519,6 +534,11 @@ func sweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *
 	cells, cfgs, err := expandSweep(cfg)
 	if err != nil {
 		return nil, err
+	}
+	for _, rc := range cfgs {
+		if rc.Network == NetworkTestbedUDP {
+			return nil, fmt.Errorf("bulletprime: sweeps do not support the testbed network (parallel wall-clock cells contend on real time); run testbed experiments one at a time")
+		}
 	}
 	exps := make([]*Experiment, len(cfgs))
 	for i, rc := range cfgs {

@@ -171,6 +171,10 @@ type RunResult struct {
 	// Overheads from the runtime's accounting.
 	ControlBytes float64
 	DataBytes    float64
+	// Err reports a run that could not execute at all — a testbed setup
+	// failure (socket bind) or an unsupported spec combination. The other
+	// fields are then empty, never partial.
+	Err error
 }
 
 // ControlOverhead returns control bytes as a fraction of all bytes.
@@ -228,6 +232,9 @@ type Hooks struct {
 // Hooks only read state, so an observed run is bit-identical to an
 // unobserved one with the same spec.
 func RunSpec(s SweepSpec) *RunResult {
+	if s.Testbed != nil {
+		return runSpecTestbed(s)
+	}
 	if s.Engine == EngineSharded {
 		return runSpecSharded(s)
 	}

@@ -57,6 +57,13 @@ type SweepSpec struct {
 	// run of the same seed.
 	Scenario *scenario.Program
 
+	// Testbed, when non-nil, runs the spec over the real-socket UDP backend
+	// instead of the emulated network: same rig, same registered system,
+	// traffic on real sockets, wall-clock-driven virtual time. Incompatible
+	// with EngineSharded, Scenario, and Dynamics (RunResult.Err reports the
+	// conflict). See TestbedSpec.
+	Testbed *TestbedSpec
+
 	// Hooks optionally observe the run (sampling ticks, block callbacks,
 	// annotations) and steer it (early stop). Hooks only read state, so an
 	// observed cell stays bit-identical to an unobserved one. Note that

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+	"bulletprime/internal/testbed"
+	"bulletprime/internal/trace"
+)
+
+// TestbedSpec switches a spec's run from the emulated network to the
+// real-socket UDP backend (internal/testbed): the topology still shapes the
+// overlay (node count, membership), but every connection's traffic rides
+// UDP datagrams on real sockets, and the engine's virtual clock is driven
+// by the wall clock at Rate. See DESIGN.md §10.
+type TestbedSpec struct {
+	// ListenHost is the bind address for nodes without a Peers entry;
+	// default 127.0.0.1 with auto-assigned ports (loopback mode).
+	ListenHost string
+	// Peers pins listen addresses ("host:port") per node — the address
+	// table of a multi-host deployment.
+	Peers map[int]string
+	// Rate is virtual seconds per wall second; <= 0 means 1 (real time).
+	Rate float64
+	// RTO is the wall-clock retransmission timeout in seconds before the
+	// first resend; <= 0 picks the transport default (50 ms).
+	RTO float64
+	// MaxRetries bounds resends per frame; <= 0 picks the default (8).
+	MaxRetries int
+	// DropProb injects deterministic uniform loss on every transmission
+	// attempt (test hook); DropSeed seeds the injector.
+	DropProb float64
+	DropSeed int64
+}
+
+// runSpecTestbed executes one spec over the UDP testbed. The spec's system
+// builds exactly as in an emulated run — same registry, same rig — but the
+// runtime's transport routes all traffic over real sockets, and
+// testbed.Run paces the engine against the wall clock instead of draining
+// the event queue flat out. Emulator-only features (sharded engine,
+// scenarios, netem dynamics) fail fast with RunResult.Err.
+func runSpecTestbed(s SweepSpec) *RunResult {
+	fail := func(err error) *RunResult {
+		return &RunResult{
+			Label:   s.Label,
+			CDF:     &trace.CDF{},
+			PerNode: map[netem.NodeID]sim.Time{},
+			Err:     err,
+		}
+	}
+	if s.Engine == EngineSharded {
+		return fail(fmt.Errorf("harness: testbed runs do not support the sharded engine"))
+	}
+	if s.Scenario != nil {
+		return fail(fmt.Errorf("harness: testbed runs do not support scenarios (scenario programs drive the emulated network)"))
+	}
+	if s.Dynamics != nil {
+		return fail(fmt.Errorf("harness: testbed runs do not support netem dynamics"))
+	}
+
+	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
+	rig := NewRig(topo, s.Seed)
+	clock := testbed.NewClock(s.Testbed.Rate)
+	cfg := testbed.Config{
+		ListenHost: s.Testbed.ListenHost,
+		RTO:        time.Duration(s.Testbed.RTO * float64(time.Second)),
+		MaxRetries: s.Testbed.MaxRetries,
+		DropProb:   s.Testbed.DropProb,
+		DropSeed:   s.Testbed.DropSeed,
+	}
+	if len(s.Testbed.Peers) > 0 {
+		cfg.Peers = make(map[netem.NodeID]string, len(s.Testbed.Peers))
+		for id, addr := range s.Testbed.Peers {
+			cfg.Peers[netem.NodeID(id)] = addr
+		}
+	}
+	tr, err := testbed.New(clock, cfg, rig.Members)
+	if err != nil {
+		return fail(err)
+	}
+	defer tr.Stop()
+	rig.RT.Transport = tr
+
+	var stop func() bool
+	if s.Hooks != nil {
+		rig.OnBlock = s.Hooks.OnBlock
+		rig.Annotate = s.Hooks.Annotate
+		stop = s.Hooks.Stop
+	}
+	sys := rig.BuildNamedSystem(s.systemName(), s.Workload, s.CoreMut, rig.Members, "")
+	if s.Hooks != nil {
+		if s.Hooks.OnStart != nil {
+			s.Hooks.OnStart(rig, sys)
+		}
+		if s.Hooks.TickEvery > 0 && s.Hooks.OnTick != nil {
+			scheduleTicks(rig, sys, s.Hooks, s.Deadline)
+		}
+	}
+	sys.Start()
+	stopped := testbed.Run(rig.Eng, tr, clock, s.Deadline, sys.Complete, stop)
+	res := &RunResult{
+		Label:        s.Label,
+		CDF:          rig.CDF(),
+		PerNode:      rig.Done,
+		Finished:     sys.Complete(),
+		Stopped:      stopped,
+		EndedAt:      rig.Eng.Now(),
+		ControlBytes: rig.RT.ControlBytes,
+		DataBytes:    rig.RT.DataBytes,
+	}
+	if s.Hooks != nil && s.Hooks.OnResult != nil {
+		s.Hooks.OnResult(res)
+	}
+	return res
+}

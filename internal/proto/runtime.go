@@ -98,6 +98,12 @@ type Runtime struct {
 	// delivery path nothing but a nil check.
 	DataMeter *trace.RateMeter
 
+	// Transport, when set before any node dials, replaces the emulated
+	// network as the message path: connections carry their traffic through
+	// it (real UDP sockets in internal/testbed) instead of netem flows,
+	// and Net may be nil. See the Transport interface.
+	Transport Transport
+
 	// OwnershipHint, when set, explains why a node is not registered here.
 	// Sharded runs give each shard its own Runtime; dialing a node that
 	// lives on another shard is a protocol-layer bug, and the hint (e.g.
@@ -223,6 +229,7 @@ type half struct {
 	idleSince    sim.Time // when this direction last became idle; -1 if busy
 	delivered    float64  // wire bytes fully delivered
 	pumpPending  bool
+	inflight     int // transport mode: messages sent but not yet acked
 }
 
 // Typed-event kinds for half (evDeliver, evPumpReady) and Conn (evAccept,
@@ -271,6 +278,9 @@ func (n *Node) Dial(to netem.NodeID) *Conn {
 		// caller's normal OnClose path cleans up.
 		c := &Conn{rt: n.rt, dialer: n, target: remote, closed: true}
 		return c
+	}
+	if n.rt.Transport != nil {
+		return n.transportDial(remote)
 	}
 	now := n.rt.Eng.Now()
 	c := &Conn{
@@ -358,6 +368,10 @@ func (c *Conn) Send(n *Node, m Message) {
 	if m.Size < MsgOverhead {
 		m.Size += MsgOverhead
 	}
+	if c.rt.Transport != nil {
+		c.transportSend(n, m)
+		return
+	}
 	h := c.dir(n)
 	h.pushMsg(c.rt.getMsg(m))
 	h.queuedBytes += m.Size
@@ -398,7 +412,7 @@ func (h *half) qLen() int { return len(h.queue) - h.qHead }
 // in the direction from n, including the one in service.
 func (c *Conn) QueueLen(n *Node) int {
 	h := c.dir(n)
-	q := h.qLen()
+	q := h.qLen() + h.inflight
 	if h.flow != nil && h.flow.Busy() {
 		q++
 	}
@@ -423,8 +437,13 @@ func (c *Conn) IdleFor(n *Node) float64 {
 // DeliveredFrom returns wire bytes delivered in the direction from n.
 func (c *Conn) DeliveredFrom(n *Node) float64 { return c.dir(n).delivered }
 
-// RTT returns the path round-trip time between the endpoints.
+// RTT returns the path round-trip time between the endpoints: the
+// topology's configured RTT under emulation, the transport's measured
+// estimate in transport mode.
 func (c *Conn) RTT() float64 {
+	if c.rt.Transport != nil {
+		return c.transportRTT()
+	}
 	return c.rt.Net.Topo.RTT(c.dialer.ID, c.target.ID)
 }
 
@@ -439,10 +458,14 @@ func (c *Conn) Close(by *Node) {
 	c.closed = true
 	c.h[0].drainQueue()
 	c.h[1].drainQueue()
-	c.h[0].flow.Close()
-	c.h[1].flow.Close()
 	delete(c.dialer.conns, c)
 	delete(c.target.conns, c)
+	if c.rt.Transport != nil {
+		c.transportClose(by)
+		return
+	}
+	c.h[0].flow.Close()
+	c.h[1].flow.Close()
 	other := c.Peer(by)
 	if by.OnClose != nil {
 		by.OnClose(c)

@@ -1,0 +1,189 @@
+package proto
+
+import (
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+)
+
+// Transport is the real-network backend contract: when Runtime.Transport is
+// set, connections route their traffic through it instead of the emulated
+// netem flows, and the protocols above run unchanged — Dial/Send/Close keep
+// their reliable in-order semantics, with the transport (internal/testbed)
+// supplying them over real sockets via framing, retransmission, and
+// reordering recovery.
+//
+// All methods are invoked on the experiment's event-loop goroutine, during
+// event execution; a transport delivers inbound traffic back through the
+// Wire* methods on Conn, also on the event-loop goroutine, after advancing
+// the engine clock to the mapped arrival time.
+type Transport interface {
+	// Open registers a freshly dialed connection and carries its SYN to
+	// the target, which fires Conn.WireAccept on delivery.
+	Open(c *Conn, dialer, target netem.NodeID)
+	// Send carries one message from 'from' to 'to' on c, reliably and in
+	// order per direction. The transport reports per-message completion
+	// via Conn.WireAcked, which is what the protocols' queue-depth and
+	// idle-time signals observe.
+	Send(c *Conn, from, to netem.NodeID, m Message)
+	// Close carries the connection teardown by 'from'; the remote
+	// endpoint observes it via Conn.WirePeerClose on delivery.
+	Close(c *Conn, from, to netem.NodeID)
+	// RTT estimates the current round-trip time between two nodes in
+	// seconds of virtual time (measured, not configured — there is no
+	// topology on a real network).
+	RTT(a, b netem.NodeID) float64
+}
+
+// dirFrom returns the half sending from the node with the given id, or nil
+// if the id is not an endpoint (a stale frame for a recycled id).
+func (c *Conn) dirFrom(from netem.NodeID) *half {
+	switch from {
+	case c.dialer.ID:
+		return &c.h[0]
+	case c.target.ID:
+		return &c.h[1]
+	}
+	return nil
+}
+
+// WireAccept fires the target's accept callback: the transport calls it
+// when the connection's SYN envelope arrives over the real network. It is
+// the wire analogue of the emulator's evAccept event.
+func (c *Conn) WireAccept() {
+	if !c.closed && c.target.OnAccept != nil {
+		c.target.OnAccept(c)
+	}
+}
+
+// WireDeliver delivers one transported message sent by the node 'from':
+// meters, control/data accounting, and the receiver's OnMessage fire
+// exactly as on the emulated delivery path. Deliveries to a closed
+// connection or a non-endpoint id are dropped, as the emulator drops
+// deliveries that race a close.
+func (c *Conn) WireDeliver(from netem.NodeID, m Message) {
+	h := c.dirFrom(from)
+	if h == nil || c.closed {
+		return
+	}
+	rt := c.rt
+	at := rt.Eng.Now()
+	h.delivered += m.Size
+	h.to.InMeter.Add(at, m.Size)
+	rt.MessagesDelivered++
+	if c.IsData != nil && c.IsData(m.Kind) {
+		rt.DataBytes += m.Size
+		if rt.DataMeter != nil {
+			rt.DataMeter.Add(at, m.Size)
+		}
+	} else {
+		rt.ControlBytes += m.Size
+	}
+	if h.to.OnMessage != nil {
+		h.to.OnMessage(c, m)
+	}
+}
+
+// WireAcked reports that the peer acknowledged one message of the given
+// wire size sent by 'from'. It is the transport-mode source of the
+// protocols' backpressure signals: QueueLen/QueueBytes count unacked
+// messages (the real-socket analogue of an emulated send queue), and the
+// direction reads as idle once nothing is unacked.
+func (c *Conn) WireAcked(from netem.NodeID, size float64) {
+	h := c.dirFrom(from)
+	if h == nil || c.closed {
+		return
+	}
+	h.inflight--
+	h.queuedBytes -= size
+	if h.inflight <= 0 {
+		h.inflight = 0
+		h.queuedBytes = 0
+		h.idleSince = c.rt.Eng.Now()
+	}
+}
+
+// WirePeerClose fires the close callback of the endpoint at 'to' — the
+// remote side of a Close carried over the network. The emulator's
+// evPeerClose analogue.
+func (c *Conn) WirePeerClose(to netem.NodeID) {
+	var n *Node
+	switch to {
+	case c.dialer.ID:
+		n = c.dialer
+	case c.target.ID:
+		n = c.target
+	default:
+		return
+	}
+	if n.OnClose != nil {
+		n.OnClose(c)
+	}
+}
+
+// WireAbort tears the connection down after the transport exhausted its
+// delivery retries (the link is dead): both endpoints observe OnClose, the
+// same signal a crashed peer produces, so the protocols' churn handling
+// takes over.
+func (c *Conn) WireAbort() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.h[0].drainQueue()
+	c.h[1].drainQueue()
+	delete(c.dialer.conns, c)
+	delete(c.target.conns, c)
+	if c.dialer.OnClose != nil {
+		c.dialer.OnClose(c)
+	}
+	if c.target.OnClose != nil {
+		c.target.OnClose(c)
+	}
+}
+
+// transportDial is Dial's transport-mode tail: no flows, no emulated
+// handshake gate — the transport's reliable link orders everything, and the
+// SYN envelope fires WireAccept at real arrival time.
+func (n *Node) transportDial(remote *Node) *Conn {
+	now := n.rt.Eng.Now()
+	c := &Conn{
+		rt:      n.rt,
+		dialer:  n,
+		target:  remote,
+		readyAt: now,
+	}
+	c.h[0] = half{conn: c, from: n, to: remote, idleSince: now}
+	c.h[1] = half{conn: c, from: remote, to: n, idleSince: now}
+	n.conns[c] = struct{}{}
+	remote.conns[c] = struct{}{}
+	n.rt.Transport.Open(c, n.ID, remote.ID)
+	return c
+}
+
+// transportSend is Send's transport-mode tail: the message is handed to the
+// transport immediately (its per-pair link is the serialization queue), and
+// stays counted against the direction until the peer acknowledges it.
+func (c *Conn) transportSend(n *Node, m Message) {
+	h := c.dir(n)
+	h.queuedBytes += m.Size
+	h.inflight++
+	h.idleSince = -1
+	n.OutMeter.Add(c.rt.Eng.Now(), m.Size)
+	c.rt.Transport.Send(c, n.ID, c.Peer(n).ID, m)
+}
+
+// transportClose is Close's transport-mode tail: local teardown is
+// immediate, the CLOSE envelope rides the reliable link, and the remote
+// close callback fires at real arrival time via WirePeerClose.
+func (c *Conn) transportClose(by *Node) {
+	other := c.Peer(by)
+	if by.OnClose != nil {
+		by.OnClose(c)
+	}
+	c.rt.Transport.Close(c, by.ID, other.ID)
+}
+
+// transportRTT is Conn.RTT in transport mode: a measured estimate.
+func (c *Conn) transportRTT() sim.Duration {
+	return c.rt.Transport.RTT(c.dialer.ID, c.target.ID)
+}

@@ -1,0 +1,178 @@
+package proto
+
+import (
+	"testing"
+
+	"bulletprime/internal/netem"
+	"bulletprime/internal/sim"
+)
+
+// stubTransport records every call the runtime routes to the transport
+// backend so the tests can replay deliveries through the Wire* entry points.
+type stubTransport struct {
+	opened []*Conn
+	sent   []Message
+	closed int
+	rtt    float64
+}
+
+func (s *stubTransport) Open(c *Conn, dialer, target netem.NodeID) { s.opened = append(s.opened, c) }
+func (s *stubTransport) Send(c *Conn, from, to netem.NodeID, m Message) {
+	s.sent = append(s.sent, m)
+}
+func (s *stubTransport) Close(c *Conn, from, to netem.NodeID) { s.closed++ }
+func (s *stubTransport) RTT(a, b netem.NodeID) float64        { return s.rtt }
+
+// newTransportRig builds a runtime with no emulated network at all: in
+// transport mode nothing may touch netem.
+func newTransportRig(n int) (*sim.Engine, *Runtime, *stubTransport) {
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, nil)
+	st := &stubTransport{rtt: 0.042}
+	rt.Transport = st
+	for i := 0; i < n; i++ {
+		rt.NewNode(netem.NodeID(i))
+	}
+	return eng, rt, st
+}
+
+func TestTransportDialSendClose(t *testing.T) {
+	_, rt, st := newTransportRig(2)
+	a, b := rt.Node(0), rt.Node(1)
+	var accepted bool
+	var got []int
+	b.OnAccept = func(c *Conn) { accepted = true }
+	b.OnMessage = func(c *Conn, m Message) { got = append(got, m.Kind) }
+
+	c := a.Dial(1)
+	if len(st.opened) != 1 || st.opened[0] != c {
+		t.Fatalf("Open calls = %v, want the dialed conn", st.opened)
+	}
+	if accepted {
+		t.Fatal("OnAccept fired before the SYN was delivered")
+	}
+	c.WireAccept()
+	if !accepted {
+		t.Fatal("WireAccept did not fire OnAccept")
+	}
+
+	c.Send(a, Message{Kind: 7, Size: 100})
+	c.Send(a, Message{Kind: 8, Size: 100})
+	if len(st.sent) != 2 || st.sent[0].Kind != 7 || st.sent[1].Kind != 8 {
+		t.Fatalf("Send calls = %v, want kinds [7 8]", st.sent)
+	}
+	if len(got) != 0 {
+		t.Fatal("messages delivered before the transport carried them")
+	}
+	for _, m := range st.sent {
+		c.WireDeliver(a.ID, m)
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("delivered kinds = %v, want [7 8]", got)
+	}
+
+	if got, want := c.RTT(), 0.042; got != want {
+		t.Fatalf("RTT = %v, want the transport estimate %v", got, want)
+	}
+
+	var aClosed, bClosed bool
+	a.OnClose = func(*Conn) { aClosed = true }
+	b.OnClose = func(*Conn) { bClosed = true }
+	c.Close(a)
+	if st.closed != 1 {
+		t.Fatalf("transport Close calls = %d, want 1", st.closed)
+	}
+	if !aClosed {
+		t.Fatal("closer's OnClose did not fire")
+	}
+	if bClosed {
+		t.Fatal("remote OnClose fired before the CLOSE was delivered")
+	}
+	c.WirePeerClose(b.ID)
+	if !bClosed {
+		t.Fatal("WirePeerClose did not fire the remote OnClose")
+	}
+	if len(a.conns) != 0 || len(b.conns) != 0 {
+		t.Fatal("closed conn still registered on an endpoint")
+	}
+}
+
+func TestTransportBackpressureSignals(t *testing.T) {
+	eng, rt, st := newTransportRig(2)
+	a := rt.Node(0)
+	c := a.Dial(1)
+
+	if c.QueueLen(a) != 0 || c.QueueBytes(a) != 0 {
+		t.Fatal("fresh transport conn reports queued work")
+	}
+	c.Send(a, Message{Kind: 1, Size: 500})
+	c.Send(a, Message{Kind: 2, Size: 300})
+	if got := c.QueueLen(a); got != 2 {
+		t.Fatalf("QueueLen = %d, want 2 unacked messages", got)
+	}
+	if got := c.QueueBytes(a); got != 800 {
+		t.Fatalf("QueueBytes = %v, want 800", got)
+	}
+	if c.IdleFor(a) != 0 {
+		t.Fatal("direction reads idle with unacked messages")
+	}
+
+	c.WireAcked(a.ID, st.sent[0].Size)
+	if got := c.QueueLen(a); got != 1 {
+		t.Fatalf("QueueLen after one ack = %d, want 1", got)
+	}
+	if got := c.QueueBytes(a); got != 300 {
+		t.Fatalf("QueueBytes after one ack = %v, want 300", got)
+	}
+	c.WireAcked(a.ID, st.sent[1].Size)
+	if c.QueueLen(a) != 0 || c.QueueBytes(a) != 0 {
+		t.Fatal("fully acked direction still reports queued work")
+	}
+	eng.After(1.5, func() {})
+	eng.Run()
+	if got := c.IdleFor(a); got != 1.5 {
+		t.Fatalf("IdleFor = %v, want 1.5 (idle since the last ack)", got)
+	}
+}
+
+func TestTransportAbortNotifiesBothEndpoints(t *testing.T) {
+	_, rt, _ := newTransportRig(2)
+	a, b := rt.Node(0), rt.Node(1)
+	var aClosed, bClosed int
+	a.OnClose = func(*Conn) { aClosed++ }
+	b.OnClose = func(*Conn) { bClosed++ }
+	c := a.Dial(1)
+	c.Send(a, Message{Kind: 1, Size: 100})
+
+	c.WireAbort()
+	if aClosed != 1 || bClosed != 1 {
+		t.Fatalf("OnClose fired %d/%d times, want 1/1 (link death looks like a crashed peer)", aClosed, bClosed)
+	}
+	if len(a.conns) != 0 || len(b.conns) != 0 {
+		t.Fatal("aborted conn still registered on an endpoint")
+	}
+	// Late traffic for the dead conn is dropped, and a second abort is a
+	// no-op — duplicate or reordered frames must not resurrect it.
+	c.WireDeliver(a.ID, Message{Kind: 9, Size: 10})
+	c.WireAccept()
+	c.WireAbort()
+	if aClosed != 1 || bClosed != 1 {
+		t.Fatalf("stale wire events re-fired OnClose (%d/%d)", aClosed, bClosed)
+	}
+}
+
+func TestTransportStaleEndpointDropped(t *testing.T) {
+	_, rt, _ := newTransportRig(3)
+	a := rt.Node(0)
+	var delivered int
+	rt.Node(1).OnMessage = func(*Conn, Message) { delivered++ }
+	c := a.Dial(1)
+	// A frame claiming a source that is not an endpoint of this conn (an id
+	// recycled across churn) must be ignored, not misattributed.
+	c.WireDeliver(2, Message{Kind: 1, Size: 10})
+	c.WireAcked(2, 10)
+	c.WirePeerClose(2)
+	if delivered != 0 {
+		t.Fatalf("stale-source frame delivered %d messages, want 0", delivered)
+	}
+}

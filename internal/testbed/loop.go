@@ -1,0 +1,73 @@
+package testbed
+
+import (
+	"time"
+
+	"bulletprime/internal/sim"
+)
+
+// pollEvery caps how long the loop sleeps with work possibly pending: the
+// retransmission scan and stop poll run at least this often.
+const pollEvery = 5 * time.Millisecond
+
+// Run is the testbed event loop: it anchors the clock at the engine's
+// current virtual time, then alternates advancing the engine to the
+// wall-mapped virtual now (firing the protocols' timers), resending overdue
+// frames, and delivering inbound datagrams — sleeping until the next
+// virtual event or the poll tick, whichever is sooner.
+//
+// The loop ends when done() reports completion, the virtual clock reaches
+// deadline, or stop() (polled every iteration; may be nil) requests an
+// early exit; it returns whether stop ended the run. The caller owns the
+// transport's lifetime — Run does not Stop it.
+func Run(eng *sim.Engine, tr *Transport, clock *Clock, deadline sim.Time, done func() bool, stop func() bool) bool {
+	clock.Start(eng.Now())
+	var held [][]byte
+	for {
+		vnow := clock.Now()
+		if vnow > deadline {
+			vnow = deadline
+		}
+		eng.RunUntil(vnow)
+		tr.Tick(time.Now())
+		for _, b := range held {
+			tr.HandleDatagram(b)
+		}
+		held = held[:0]
+		for {
+			select {
+			case b := <-tr.Inbox():
+				tr.HandleDatagram(b)
+				continue
+			default:
+			}
+			break
+		}
+		if stop != nil && stop() {
+			return true
+		}
+		if done() {
+			return false
+		}
+		if clock.Now() >= deadline {
+			eng.RunUntil(deadline)
+			return false
+		}
+		d := pollEvery
+		if next, ok := eng.NextEventAt(); ok {
+			if w := clock.WallUntil(next); w < d {
+				d = w
+			}
+		}
+		if d <= 0 {
+			continue
+		}
+		select {
+		case b := <-tr.Inbox():
+			// Deliver on the next iteration, after the engine has advanced
+			// to the arrival instant.
+			held = append(held, b)
+		case <-time.After(d):
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package wire is the versioned binary frame codec of the real-socket
+// testbed backend (internal/testbed): it turns the protocol runtime's
+// control and block messages into UDP datagrams and back.
+//
+// Two layers share one buffer:
+//
+//   - Frame is the outer datagram format — magic, version, frame kind,
+//     source and destination node ids, the reliable-link sequence and
+//     cumulative-acknowledgement numbers, a length-prefixed payload, and a
+//     CRC-32C checksum over everything before it. Decode is strict: a
+//     truncated datagram, wrong magic, unsupported version, oversized
+//     payload, or checksum mismatch each fail with a distinct error, and a
+//     frame never decodes from bytes it did not round-trip from.
+//
+//   - Msg is the inner envelope for one proto.Message (or a connection
+//     SYN/CLOSE): the operation, the connection's wire id, the protocol
+//     message kind, the emulation wire size, and the payload token of the
+//     in-process payload exchange. Encoded envelopes are padded up to the
+//     message's declared wire size (capped at MaxPayload), so loopback
+//     traffic carries the same byte volume the emulator charges.
+//
+// The payload of a proto.Message is an arbitrary in-memory value that the
+// emulator never serializes (it only charges bytes); the testbed keeps that
+// contract by carrying payload values through a process-local exchange
+// table and putting padding bytes of the declared size on the wire. A
+// multi-host deployment would replace the token with a per-protocol payload
+// codec; the frame format already reserves the space (see DESIGN.md §10).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Frame format constants. The header is fixed-size and little-endian:
+//
+//	magic(4) version(1) kind(1) src(4) dst(4) seq(4) ack(4) len(4) payload... crc(4)
+const (
+	// Magic marks a testbed frame ("BPW" + format generation).
+	Magic uint32 = 0x42505701
+	// Version is the current frame version; decoders reject all others.
+	Version uint8 = 1
+	// HeaderLen is the fixed frame header size in bytes.
+	HeaderLen = 4 + 1 + 1 + 4 + 4 + 4 + 4 + 4
+	// TrailerLen is the checksum size in bytes.
+	TrailerLen = 4
+	// MaxPayload caps a frame payload so every frame fits one UDP datagram
+	// with room for the header, trailer, and UDP/IP overhead.
+	MaxPayload = 60000
+	// MaxFrame is the largest encoded frame.
+	MaxFrame = HeaderLen + MaxPayload + TrailerLen
+)
+
+// Frame kinds.
+const (
+	// KindData carries one reliable-link payload (a Msg envelope). Seq is
+	// the link sequence number; Ack piggybacks the receiver's cumulative
+	// acknowledgement for the reverse direction (0 if none).
+	KindData uint8 = iota + 1
+	// KindAck acknowledges delivery: Ack is the next sequence number the
+	// sender of the ack expects on the link Dst→Src; the payload is empty.
+	KindAck
+)
+
+// Strict decode errors, one per failure mode.
+var (
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrBadMagic  = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported frame version")
+	ErrChecksum  = errors.New("wire: checksum mismatch")
+	ErrOversize  = errors.New("wire: payload exceeds size cap")
+	ErrTrailing  = errors.New("wire: trailing bytes after frame")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on most targets).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one testbed datagram.
+type Frame struct {
+	Kind     uint8
+	Src, Dst uint32 // topology node ids
+	Seq, Ack uint32 // reliable-link sequence / cumulative ack
+	Payload  []byte
+}
+
+// AppendEncode appends the encoded frame to dst and returns the extended
+// slice. It panics if the payload exceeds MaxPayload — the transport sizes
+// payloads before framing, so an oversized payload is a programming error.
+func (f *Frame) AppendEncode(dst []byte) []byte {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("wire: encoding payload of %d bytes (cap %d)", len(f.Payload), MaxPayload))
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = append(dst, Version, f.Kind)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Src)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Dst)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Ack)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// Decode parses one frame from b, which must contain exactly one frame
+// (UDP preserves datagram boundaries). The returned Frame's Payload aliases
+// b. Every malformed input fails with one of the Err* sentinels.
+func Decode(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < HeaderLen+TrailerLen {
+		return f, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != Magic {
+		return f, ErrBadMagic
+	}
+	if b[4] != Version {
+		return f, fmt.Errorf("%w: got %d, want %d", ErrVersion, b[4], Version)
+	}
+	plen := binary.LittleEndian.Uint32(b[22:26])
+	if plen > MaxPayload {
+		return f, fmt.Errorf("%w: %d bytes (cap %d)", ErrOversize, plen, MaxPayload)
+	}
+	total := HeaderLen + int(plen) + TrailerLen
+	if len(b) < total {
+		return f, ErrTruncated
+	}
+	if len(b) > total {
+		return f, ErrTrailing
+	}
+	want := binary.LittleEndian.Uint32(b[total-TrailerLen:])
+	if crc32.Checksum(b[:total-TrailerLen], castagnoli) != want {
+		return f, ErrChecksum
+	}
+	f.Kind = b[5]
+	f.Src = binary.LittleEndian.Uint32(b[6:10])
+	f.Dst = binary.LittleEndian.Uint32(b[10:14])
+	f.Seq = binary.LittleEndian.Uint32(b[14:18])
+	f.Ack = binary.LittleEndian.Uint32(b[18:22])
+	f.Payload = b[HeaderLen : HeaderLen+int(plen)]
+	return f, nil
+}
+
+// Envelope operations (Msg.Op).
+const (
+	// OpSyn opens a connection: the dialer announces the conn id; delivery
+	// fires the target's accept callback.
+	OpSyn uint8 = iota + 1
+	// OpMsg carries one proto.Message on an open connection.
+	OpMsg
+	// OpClose tears the connection down; delivery fires the remote
+	// endpoint's close callback.
+	OpClose
+)
+
+// msgHeaderLen is the fixed envelope size: op(1) conn(8) kind(4) size(8)
+// token(8) padlen(4).
+const msgHeaderLen = 1 + 8 + 4 + 8 + 8 + 4
+
+// Msg is the inner envelope for one transported protocol message.
+type Msg struct {
+	// Op is the envelope operation (OpSyn, OpMsg, OpClose).
+	Op uint8
+	// Conn is the connection's transport-assigned wire id.
+	Conn uint64
+	// Kind is the protocol message kind (proto.Message.Kind); zero for
+	// SYN/CLOSE envelopes.
+	Kind int32
+	// Size is the emulation wire size in bytes (proto.Message.Size); the
+	// encoder pads the envelope toward this size so real traffic carries
+	// the charged byte volume.
+	Size float64
+	// Token addresses the message payload in the process-local payload
+	// exchange; zero means the message carries no payload value.
+	Token uint64
+}
+
+// AppendEncodeMsg appends the encoded envelope to dst, padding the result
+// up to min(int(m.Size), MaxPayload) bytes so the datagram's length tracks
+// the emulation's charged wire size.
+func AppendEncodeMsg(dst []byte, m Msg) []byte {
+	pad := 0
+	if want := int(m.Size); want > msgHeaderLen {
+		pad = want - msgHeaderLen
+		if pad > MaxPayload-msgHeaderLen {
+			pad = MaxPayload - msgHeaderLen
+		}
+	}
+	dst = append(dst, m.Op)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Conn)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Kind))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Size))
+	dst = binary.LittleEndian.AppendUint64(dst, m.Token)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(pad))
+	return append(dst, make([]byte, pad)...)
+}
+
+// DecodeMsg parses an envelope produced by AppendEncodeMsg. The declared
+// padding must match the remaining bytes exactly; a NaN or negative size is
+// rejected (sizes are emulation byte counts, never special values).
+func DecodeMsg(b []byte) (Msg, error) {
+	var m Msg
+	if len(b) < msgHeaderLen {
+		return m, ErrTruncated
+	}
+	m.Op = b[0]
+	if m.Op != OpSyn && m.Op != OpMsg && m.Op != OpClose {
+		return m, fmt.Errorf("wire: unknown envelope op %d", m.Op)
+	}
+	m.Conn = binary.LittleEndian.Uint64(b[1:9])
+	m.Kind = int32(binary.LittleEndian.Uint32(b[9:13]))
+	m.Size = math.Float64frombits(binary.LittleEndian.Uint64(b[13:21]))
+	if math.IsNaN(m.Size) || m.Size < 0 || math.IsInf(m.Size, 0) {
+		return m, fmt.Errorf("wire: invalid message size %v", m.Size)
+	}
+	m.Token = binary.LittleEndian.Uint64(b[21:29])
+	pad := binary.LittleEndian.Uint32(b[29:33])
+	if int(pad) != len(b)-msgHeaderLen {
+		return m, fmt.Errorf("%w: declared %d padding bytes, have %d", ErrTruncated, pad, len(b)-msgHeaderLen)
+	}
+	return m, nil
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustEncode(t *testing.T, f Frame) []byte {
+	t.Helper()
+	return f.AppendEncode(nil)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Kind: KindData, Src: 0, Dst: 1, Seq: 1, Ack: 0, Payload: []byte("hello")},
+		{Kind: KindAck, Src: 7, Dst: 3, Seq: 0, Ack: 42},
+		{Kind: KindData, Src: 4294967295, Dst: 0, Seq: 4294967295, Ack: 4294967295, Payload: make([]byte, MaxPayload)},
+		{Kind: KindData, Src: 1, Dst: 2, Seq: 9, Ack: 8, Payload: []byte{}},
+	}
+	for i, f := range cases {
+		b := mustEncode(t, f)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		if got.Kind != f.Kind || got.Src != f.Src || got.Dst != f.Dst ||
+			got.Seq != f.Seq || got.Ack != f.Ack || string(got.Payload) != string(f.Payload) {
+			t.Fatalf("case %d: round trip mismatch: sent %+v got %+v", i, f, got)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b := mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2, Seq: 3, Payload: []byte("payload")})
+	// Every proper prefix must fail, and every cut must be ErrTruncated
+	// until the cut reaches the declared payload (where the checksum no
+	// longer lines up); no prefix may decode successfully.
+	for cut := 0; cut < len(b); cut++ {
+		_, err := Decode(b[:cut])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(b))
+		}
+		if cut < HeaderLen+TrailerLen && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	b := mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2})
+	b[0] ^= 0xff
+	if _, err := Decode(b); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	b := mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2})
+	b[4] = Version + 1
+	// Recompute the checksum so the version check is what fires, proving
+	// version is checked before (not via) the checksum.
+	if _, err := Decode(b); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeChecksum(t *testing.T) {
+	b := mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2, Payload: []byte("abcdef")})
+	// Corrupt one payload byte.
+	b[HeaderLen] ^= 0x01
+	if _, err := Decode(b); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload corruption: got %v, want ErrChecksum", err)
+	}
+	// Corrupt the checksum itself.
+	b = mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2, Payload: []byte("abcdef")})
+	b[len(b)-1] ^= 0x01
+	if _, err := Decode(b); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("trailer corruption: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeOversize(t *testing.T) {
+	b := mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2, Payload: []byte("x")})
+	// Claim a payload over the cap; the length check must fire before any
+	// attempt to slice the (absent) payload.
+	binary.LittleEndian.PutUint32(b[22:26], MaxPayload+1)
+	if _, err := Decode(b); !errors.Is(err, ErrOversize) {
+		t.Fatalf("got %v, want ErrOversize", err)
+	}
+	// Encoding over the cap panics (transport bug, not a wire condition).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendEncode accepted an oversized payload")
+		}
+	}()
+	f := Frame{Kind: KindData, Payload: make([]byte, MaxPayload+1)}
+	f.AppendEncode(nil)
+}
+
+func TestDecodeTrailing(t *testing.T) {
+	b := mustEncode(t, Frame{Kind: KindData, Src: 1, Dst: 2, Payload: []byte("x")})
+	b = append(b, 0xde, 0xad)
+	if _, err := Decode(b); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("got %v, want ErrTrailing", err)
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	cases := []Msg{
+		{Op: OpSyn, Conn: 1},
+		{Op: OpMsg, Conn: 99, Kind: 7, Size: 16432, Token: 12345},
+		{Op: OpMsg, Conn: 2, Kind: -3, Size: 16, Token: 1},
+		{Op: OpClose, Conn: 18446744073709551615},
+	}
+	for i, m := range cases {
+		b := AppendEncodeMsg(nil, m)
+		got, err := DecodeMsg(b)
+		if err != nil {
+			t.Fatalf("case %d: DecodeMsg: %v", i, err)
+		}
+		if got != m {
+			t.Fatalf("case %d: round trip mismatch: sent %+v got %+v", i, m, got)
+		}
+	}
+}
+
+func TestMsgPadding(t *testing.T) {
+	// A 16 KB block message must produce an envelope whose length tracks
+	// the declared wire size, capped at MaxPayload.
+	m := Msg{Op: OpMsg, Conn: 1, Kind: 2, Size: 16 * 1024, Token: 3}
+	b := AppendEncodeMsg(nil, m)
+	if len(b) != 16*1024 {
+		t.Fatalf("padded envelope is %d bytes, want %d", len(b), 16*1024)
+	}
+	// A declared size beyond the payload cap clamps instead of overflowing
+	// the frame.
+	m.Size = 1 << 20
+	if got := len(AppendEncodeMsg(nil, m)); got != MaxPayload {
+		t.Fatalf("oversized declared size padded to %d, want %d", got, MaxPayload)
+	}
+	// Tiny sizes never pad below the envelope header.
+	m.Size = 1
+	if got := len(AppendEncodeMsg(nil, m)); got != msgHeaderLen {
+		t.Fatalf("tiny message encoded to %d bytes, want %d", got, msgHeaderLen)
+	}
+}
+
+func TestMsgDecodeErrors(t *testing.T) {
+	b := AppendEncodeMsg(nil, Msg{Op: OpMsg, Conn: 1, Kind: 2, Size: 100, Token: 3})
+	if _, err := DecodeMsg(b[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short envelope: got %v, want ErrTruncated", err)
+	}
+	// Unknown op.
+	bad := append([]byte(nil), b...)
+	bad[0] = 0x7f
+	if _, err := DecodeMsg(bad); err == nil {
+		t.Fatal("unknown op decoded successfully")
+	}
+	// Padding length lying about the remaining bytes.
+	bad = append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(bad[29:33], 9999)
+	if _, err := DecodeMsg(bad); err == nil {
+		t.Fatal("mismatched padding decoded successfully")
+	}
+	// NaN / negative / infinite sizes are rejected.
+	for _, v := range []float64{math.NaN(), -1, math.Inf(1)} {
+		bad = append([]byte(nil), b...)
+		binary.LittleEndian.PutUint64(bad[13:21], math.Float64bits(v))
+		if _, err := DecodeMsg(bad); err == nil {
+			t.Fatalf("size %v decoded successfully", v)
+		}
+	}
+}

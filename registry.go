@@ -142,4 +142,10 @@ func init() {
 	networks[NetworkPlanetLab] = func(n int) TopologyFn { return harness.PlanetLabTopology(n) }
 	networks[NetworkClustered] = func(n int) TopologyFn { return harness.ClusteredTopology(n, 0) }
 	networks[NetworkClusteredCompact] = func(n int) TopologyFn { return harness.ClusteredTopologyCompact(n, 0) }
+	// The testbed is not an emulated environment: its topology only shapes
+	// the overlay (node count, membership) — traffic rides real UDP sockets
+	// (internal/testbed), routed there by the spec's TestbedSpec. A neutral
+	// lossless topology keeps overlay construction identical to clean
+	// emulated runs.
+	networks[NetworkTestbedUDP] = func(n int) TopologyFn { return harness.LosslessModelNetTopology(n) }
 }

@@ -1,0 +1,134 @@
+package bulletprime_test
+
+import (
+	"strings"
+	"testing"
+
+	"bulletprime"
+)
+
+// testbedCfg is the smallest façade-level testbed run: loopback UDP with an
+// accelerated clock so wall time stays test-sized.
+func testbedCfg() bulletprime.RunConfig {
+	return bulletprime.RunConfig{
+		Nodes:     8,
+		FileBytes: 64 * 1024,
+		Network:   bulletprime.NetworkTestbedUDP,
+		Testbed:   &bulletprime.TestbedOptions{Rate: 50},
+		Seed:      1,
+		Deadline:  1800,
+	}
+}
+
+func TestTestbedRunCompletes(t *testing.T) {
+	res, err := bulletprime.Run(testbedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || len(res.CompletionTimes) != 7 {
+		t.Fatalf("testbed run incomplete: finished=%v, %d/7 receivers", res.Finished, len(res.CompletionTimes))
+	}
+	if res.Series != nil {
+		t.Fatal("testbed run recorded a time-series; SampleEvery must be forced off")
+	}
+}
+
+// TestTestbedCombinationValidation pins every rejected testbed combination
+// to its specific message: one test per pair, per the validation contract in
+// RunConfig.normalized and Subscribe.
+func TestTestbedCombinationValidation(t *testing.T) {
+	check := func(t *testing.T, err error, want string) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("conflicted config accepted")
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name the conflict %q", err, want)
+		}
+	}
+
+	t.Run("sharded", func(t *testing.T) {
+		cfg := testbedCfg()
+		cfg.Engine = bulletprime.EngineSharded
+		_, err := bulletprime.Run(cfg)
+		check(t, err, "sharded engine")
+	})
+
+	t.Run("scenario", func(t *testing.T) {
+		cfg := testbedCfg()
+		cfg.Scenario = &bulletprime.Scenario{}
+		_, err := bulletprime.Run(cfg)
+		check(t, err, "scenarios")
+	})
+
+	t.Run("dynamic-bandwidth", func(t *testing.T) {
+		cfg := testbedCfg()
+		cfg.DynamicBandwidth = true
+		_, err := bulletprime.Run(cfg)
+		check(t, err, "DynamicBandwidth")
+	})
+
+	t.Run("observers", func(t *testing.T) {
+		exp, err := bulletprime.New(testbedCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = exp.Subscribe(bulletprime.ObserverConfig{Every: 1})
+		check(t, err, "observers")
+	})
+
+	t.Run("sweep", func(t *testing.T) {
+		_, err := bulletprime.Sweep(bulletprime.SweepConfig{Base: testbedCfg()})
+		check(t, err, "sweeps")
+	})
+
+	t.Run("options-without-preset", func(t *testing.T) {
+		cfg := testbedCfg()
+		cfg.Network = bulletprime.NetworkModelNet
+		_, err := bulletprime.Run(cfg)
+		check(t, err, "NetworkTestbedUDP")
+	})
+}
+
+func TestTestbedOptionValidation(t *testing.T) {
+	cfg := testbedCfg()
+	cfg.Testbed.DropProb = 1.5
+	if _, err := bulletprime.Run(cfg); err == nil {
+		t.Fatal("accepted DropProb outside [0, 1)")
+	}
+	cfg = testbedCfg()
+	cfg.Testbed.Rate = -1
+	if _, err := bulletprime.Run(cfg); err == nil {
+		t.Fatal("accepted negative Rate")
+	}
+}
+
+func TestTestbedArchiveFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	arch, err := bulletprime.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testbedCfg()
+	cfg.Archive = arch
+	if _, err := bulletprime.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A different loss seed is a different experiment: it must archive under
+	// its own id, not dedupe against the clean run.
+	cfg2 := testbedCfg()
+	cfg2.Archive = arch
+	cfg2.Testbed.DropProb = 0.02
+	cfg2.Testbed.DropSeed = 9
+	cfg2.Testbed.RTO = 0.01
+	if _, err := bulletprime.Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("archived %d runs, want 2 (testbed knobs are identity-bearing)", len(runs))
+	}
+}
