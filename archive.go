@@ -78,6 +78,11 @@ type configFingerprint struct {
 	// for emulated runs, keeping every pre-testbed record's id stable.
 	// Address knobs (ListenHost, Peers) are execution details and excluded.
 	Testbed *testbedFingerprint `json:"testbed,omitempty"`
+	// Stream captures a streaming run's normalized pacing knobs; nil for
+	// one-shot runs, keeping every pre-streaming record's id stable — and
+	// making a streamed run's id always differ from the one-shot run of
+	// the same derived FileBytes.
+	Stream *streamFingerprint `json:"stream,omitempty"`
 }
 
 // testbedFingerprint is the identity-bearing slice of TestbedOptions.
@@ -87,6 +92,16 @@ type testbedFingerprint struct {
 	MaxRetries int     `json:"max_retries,omitempty"`
 	DropProb   float64 `json:"drop_prob,omitempty"`
 	DropSeed   int64   `json:"drop_seed,omitempty"`
+}
+
+// streamFingerprint is the identity-bearing slice of StreamOptions
+// (post-normalization, so defaults hash the same as their explicit values).
+type streamFingerprint struct {
+	BitrateBps   float64 `json:"bitrate_bps,omitempty"`
+	Duration     float64 `json:"duration,omitempty"`
+	PlayoutDepth float64 `json:"playout_depth,omitempty"`
+	Warmup       float64 `json:"warmup,omitempty"`
+	Drain        float64 `json:"drain,omitempty"`
 }
 
 // fingerprint renders a normalized config's canonical JSON plus the
@@ -129,6 +144,15 @@ func fingerprint(cfg RunConfig, seriesEvery float64) (configJSON []byte, scenari
 			DropSeed:   cfg.Testbed.DropSeed,
 		}
 	}
+	if cfg.Stream != nil {
+		fp.Stream = &streamFingerprint{
+			BitrateBps:   cfg.Stream.BitrateBps,
+			Duration:     cfg.Stream.Duration,
+			PlayoutDepth: cfg.Stream.PlayoutDepth,
+			Warmup:       cfg.Stream.Warmup,
+			Drain:        cfg.Stream.Drain,
+		}
+	}
 	configJSON, err = json.Marshal(fp)
 	if err != nil {
 		return nil, "", "", fmt.Errorf("bulletprime: hashing config: %w", err)
@@ -162,15 +186,20 @@ func recordRun(a *Archive, cfg RunConfig, res *Result, seriesEvery float64) (str
 		run.Series = make([]lab.Sample, len(res.Series))
 		for i, s := range res.Series {
 			run.Series[i] = lab.Sample{
-				Time:            s.Time,
-				Completed:       s.Completed,
-				Receivers:       s.Receivers,
-				GoodputBps:      s.GoodputBps,
-				ControlBytes:    s.ControlBytes,
-				DataBytes:       s.DataBytes,
-				DuplicateBlocks: s.DuplicateBlocks,
-				DuplicateBytes:  s.DuplicateBytes,
-				UsefulBytes:     s.UsefulBytes,
+				Time:             s.Time,
+				Completed:        s.Completed,
+				Receivers:        s.Receivers,
+				GoodputBps:       s.GoodputBps,
+				ControlBytes:     s.ControlBytes,
+				DataBytes:        s.DataBytes,
+				DuplicateBlocks:  s.DuplicateBlocks,
+				DuplicateBytes:   s.DuplicateBytes,
+				UsefulBytes:      s.UsefulBytes,
+				StreamLagP50:     s.StreamLagP50,
+				StreamLagMax:     s.StreamLagMax,
+				Rebuffering:      s.Rebuffering,
+				RebufferEvents:   s.RebufferEvents,
+				StreamGoodputBps: s.StreamGoodputBps,
 			}
 		}
 	}

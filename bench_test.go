@@ -737,6 +737,40 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	}
 }
 
+// --- Live-streaming workload (DESIGN.md §11) ---------------------------------
+
+// BenchmarkStream500 costs the streaming subsystem at 500-node scale: a
+// 64 KiB/s live source on the lossless ModelNet mesh for 30 virtual seconds,
+// with a drain window long enough for every viewer to finish playback, and
+// the playout-buffer tracker accounting all 499 of them. It reports
+// viewer-experience metrics alongside wall time, so stream regressions (lag
+// growth, rebuffer storms) surface in bench diffs, and it feeds the perf
+// gate through BENCH_PERF.json.
+func BenchmarkStream500(b *testing.B) {
+	var lagP50, rebuffers float64
+	for i := 0; i < b.N; i++ {
+		res := harness.RunSpec(harness.SweepSpec{
+			Label:    "stream500",
+			Seed:     benchSeed,
+			TopoFn:   harness.LosslessModelNetTopology(500),
+			Kind:     harness.KindBulletPrime,
+			Workload: harness.Workload{BlockSize: 16 * 1024},
+			Deadline: 120,
+			Stream:   &harness.StreamSpec{BitrateBps: 64 * 1024, Duration: 30, Drain: 45},
+		})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Stream == nil || res.Stream.Live == 0 {
+			b.Fatal("stream run reported no live viewers")
+		}
+		lagP50 = res.Stream.LagP50
+		rebuffers = float64(res.Stream.Rebuffers)
+	}
+	b.ReportMetric(lagP50, "lag_p50_s")
+	b.ReportMetric(rebuffers, "rebuffers")
+}
+
 func BenchmarkBlockStoreDiff(b *testing.B) {
 	s := proto.NewBlockStore(6400)
 	for i := 0; i < 6400; i += 2 {

@@ -53,11 +53,13 @@ package bulletprime
 
 import (
 	"fmt"
+	"math"
 
 	"bulletprime/internal/core"
 	"bulletprime/internal/harness"
 	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
+	"bulletprime/internal/stream"
 	"bulletprime/internal/trace"
 )
 
@@ -86,6 +88,14 @@ const (
 	ProtocolBitTorrent  Protocol = "bittorrent"
 	ProtocolSplitStream Protocol = "splitstream"
 )
+
+// ProtocolStream is Bullet' with delay-gradient sender selection
+// (DESIGN.md §11): senders are ranked by a receiver-side one-way-delay
+// bandwidth estimate instead of realized epoch throughput, so a congesting
+// sender is demoted before loss shows up in its rate. It resolves to the
+// harness's "BulletPrimeDelay" system and pairs naturally with
+// RunConfig.Stream, but also runs one-shot workloads.
+const ProtocolStream Protocol = "stream"
 
 // ProtocolScalefill is the sharded engine's reference workload: every node
 // pulls the file through intra-cluster transfers under per-shard link
@@ -174,6 +184,31 @@ type TestbedOptions struct {
 	DropSeed int64
 }
 
+// StreamOptions makes a run a live stream: the source emits one block every
+// BlockSize/BitrateBps seconds for Duration seconds instead of holding a
+// complete file at t=0, and every receiver is tracked as a viewer playing
+// the stream behind the live edge — Sample gains lag/rebuffer fields and
+// Result.Stream reports per-viewer aggregates. FileBytes must be left zero
+// (it is derived as BitrateBps × Duration rounded up to whole blocks);
+// streaming requires a stream-capable protocol (ProtocolBulletPrime,
+// ProtocolBullet, ProtocolStream) on the sequential emulated engine. See
+// DESIGN.md §11.
+type StreamOptions struct {
+	// BitrateBps is the source emission rate in bytes per second.
+	BitrateBps float64
+	// Duration is how long the source emits, in virtual seconds.
+	Duration float64
+	// PlayoutDepth is the viewer buffer depth in seconds of content a
+	// viewer must accumulate before (re)starting playback; 0 picks 4.
+	PlayoutDepth float64
+	// Warmup excludes the startup transient from steady-state goodput:
+	// 0 picks min(Duration/4, 10), negative disables the warmup window.
+	Warmup float64
+	// Drain is how long the run may continue past the last block's emission
+	// so trailing viewers catch up; 0 picks 15.
+	Drain float64
+}
+
 // RequestStrategy re-exports the §3.3.2 request orderings.
 type RequestStrategy = core.RequestStrategy
 
@@ -251,6 +286,12 @@ type RunConfig struct {
 	// never archived. See OpenArchive and DESIGN.md §7.
 	Archive *Archive
 
+	// Stream, when non-nil, makes the run a live stream (see StreamOptions):
+	// paced source emission, per-viewer lag/rebuffer tracking, and the
+	// Result.Stream report. FileBytes must then be zero — it is derived
+	// from the stream geometry.
+	Stream *StreamOptions
+
 	// Bullet'-specific knobs (ignored by other protocols).
 	Strategy          RequestStrategy // default RarestRandom
 	StaticPeers       int             // pin peer-set size; 0 = adaptive
@@ -265,6 +306,53 @@ type RunConfig struct {
 func (cfg RunConfig) normalized() (RunConfig, error) {
 	if cfg.Nodes < 8 {
 		return cfg, fmt.Errorf("bulletprime: need at least 8 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Stream != nil {
+		// Streaming validation and defaults live before the FileBytes check:
+		// a stream derives its content size from rate × duration.
+		s := *cfg.Stream
+		if s.BitrateBps <= 0 {
+			return cfg, fmt.Errorf("bulletprime: Stream.BitrateBps must be positive, got %v", s.BitrateBps)
+		}
+		if s.Duration <= 0 {
+			return cfg, fmt.Errorf("bulletprime: Stream.Duration must be positive, got %v", s.Duration)
+		}
+		if cfg.FileBytes != 0 {
+			return cfg, fmt.Errorf("bulletprime: a streaming run derives FileBytes from BitrateBps × Duration; leave it zero")
+		}
+		if cfg.Engine == EngineSharded {
+			return cfg, fmt.Errorf("bulletprime: streaming runs require the sequential engine (the lag tracker samples one clock)")
+		}
+		if cfg.Network == NetworkTestbedUDP || cfg.Testbed != nil {
+			return cfg, fmt.Errorf("bulletprime: streaming runs do not support the testbed backend (lag tracking needs the deterministic emulated clock)")
+		}
+		if cfg.Encoded {
+			return cfg, fmt.Errorf("bulletprime: Stream and Encoded both redefine the source emission; pick one")
+		}
+		if s.PlayoutDepth <= 0 {
+			s.PlayoutDepth = harness.DefaultPlayoutDepth
+		}
+		switch {
+		case s.Warmup == 0:
+			s.Warmup = s.Duration / 4
+			if s.Warmup > harness.DefaultWarmupCap {
+				s.Warmup = harness.DefaultWarmupCap
+			}
+		case s.Warmup < 0:
+			s.Warmup = 0
+		}
+		if s.Drain <= 0 {
+			s.Drain = harness.DefaultDrain
+		}
+		cfg.Stream = &s
+		if cfg.BlockSize <= 0 {
+			cfg.BlockSize = 16 * 1024
+		}
+		blocks := math.Ceil(s.BitrateBps * s.Duration / cfg.BlockSize)
+		if blocks < 1 {
+			blocks = 1
+		}
+		cfg.FileBytes = blocks * cfg.BlockSize
 	}
 	if cfg.FileBytes <= 0 {
 		return cfg, fmt.Errorf("bulletprime: FileBytes must be positive")
@@ -335,9 +423,14 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 		if cfg.Shards != 0 || cfg.ShardWorkers != 0 {
 			return cfg, fmt.Errorf("bulletprime: Shards/ShardWorkers are sharded-engine knobs; set Engine: EngineSharded")
 		}
-		if _, ok := lookupProtocol(cfg.Protocol); !ok {
+		sysName, ok := lookupProtocol(cfg.Protocol)
+		if !ok {
 			return cfg, fmt.Errorf("bulletprime: unknown protocol %q (registered: %v)",
 				cfg.Protocol, Protocols())
+		}
+		if cfg.Stream != nil && !harness.StreamCapable(sysName) {
+			return cfg, fmt.Errorf("bulletprime: protocol %q does not support live streaming (its source cannot pace emission)",
+				cfg.Protocol)
 		}
 	}
 	if _, ok := lookupNetwork(cfg.Network); !ok {
@@ -409,7 +502,23 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		Shards:   cfg.Shards,
 		Workers:  cfg.ShardWorkers,
 		Testbed:  tb,
+		Stream:   streamSpec(cfg.Stream),
 	}, nil
+}
+
+// streamSpec lowers the façade's (already-normalized) stream options to the
+// harness spec.
+func streamSpec(s *StreamOptions) *harness.StreamSpec {
+	if s == nil {
+		return nil
+	}
+	return &harness.StreamSpec{
+		BitrateBps:   s.BitrateBps,
+		Duration:     s.Duration,
+		PlayoutDepth: s.PlayoutDepth,
+		Warmup:       s.Warmup,
+		Drain:        s.Drain,
+	}
 }
 
 // Annotation is a timestamped timeline marker: a scenario event firing, a
@@ -455,6 +564,15 @@ type Sample struct {
 	DuplicateBlocks int
 	DuplicateBytes  float64
 	UsefulBytes     float64
+	// Live-streaming fields, populated only on streaming runs
+	// (RunConfig.Stream): viewer lag behind the live edge (median and
+	// worst, seconds), viewers currently rebuffering, cumulative rebuffer
+	// events, and aggregate viewer goodput. See DESIGN.md §11.
+	StreamLagP50     float64
+	StreamLagMax     float64
+	Rebuffering      int
+	RebufferEvents   int
+	StreamGoodputBps float64
 	// Nodes holds per-node progress, only on streams subscribed with
 	// ObserverConfig.PerNode (Result.Series omits it).
 	Nodes []NodeProgress
@@ -484,9 +602,18 @@ type Result struct {
 	// Annotations lists every scenario-event marker observed during a
 	// session run, in time order.
 	Annotations []Annotation
+	// Stream is the live-streaming report of a streaming run
+	// (RunConfig.Stream): per-viewer lag/jitter/rebuffer rows and their
+	// aggregates. Nil for one-shot runs.
+	Stream *StreamReport
 
 	cdf *trace.CDF
 }
+
+// StreamReport re-exports the streaming tracker's end-of-run report:
+// per-viewer rows (NodeReport) plus lag, jitter, startup, rebuffer, and
+// goodput aggregates over the run.
+type StreamReport = stream.Report
 
 // dist returns the completion-time distribution. Library-returned Results
 // carry it pre-built and pre-sorted (see toResult), so concurrent quantile
@@ -543,6 +670,7 @@ func toResult(res *harness.RunResult) *Result {
 	for id, t := range res.PerNode {
 		out.CompletionTimes[int(id)] = float64(t)
 	}
+	out.Stream = res.Stream
 	// Pre-build the distribution while single-threaded (its own copy, not
 	// the harness CDF, whose in-place sort callers must not share).
 	out.cdf = newCDF(out.CompletionTimes)

@@ -259,6 +259,10 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		engine   = fs.String("engine", "sequential", "execution engine: sequential or sharded (sharded needs a clustered network and a sharded protocol, e.g. scalefill)")
 		shards   = fs.Int("shards", 0, "shard count for -engine sharded (0 = default; part of the experiment's identity)")
 		timeout  = fs.Float64("timeout", 0, "wall-clock bound in seconds; on expiry the run stops, prints partial results, and exits 1")
+		stream   = fs.Bool("stream", false, "live-streaming run: the source paces emission at -bitrate for -duration and viewers are tracked for lag/rebuffering")
+		bitrate  = fs.Float64("bitrate", 2, "stream: source bitrate in Mbps")
+		duration = fs.Float64("duration", 60, "stream: emission duration in virtual seconds")
+		playout  = fs.Float64("playout", 0, "stream: viewer playout buffer depth in seconds of content (0 = default 4)")
 		rate     = fs.Float64("rate", 0, "testbed-udp: virtual seconds per wall second (0 = real time)")
 		rto      = fs.Float64("rto", 0, "testbed-udp: wall retransmission timeout in seconds (0 = default 0.05)")
 		drop     = fs.Float64("drop", 0, "testbed-udp: injected uniform packet-loss probability")
@@ -284,6 +288,29 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bulletctl run: -rate/-rto/-drop/-dropseed require -network testbed-udp")
 		return 2
 	}
+	// The streaming flags are usage-checked here rather than left to config
+	// validation: a silently ignored -bitrate would run a different
+	// experiment than the one asked for.
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !*stream && (explicit["bitrate"] || explicit["duration"] || explicit["playout"]) {
+		fmt.Fprintln(stderr, "bulletctl run: -bitrate/-duration/-playout require -stream")
+		return 2
+	}
+	if *stream && explicit["filemb"] {
+		fmt.Fprintln(stderr, "bulletctl run: -stream derives the content size from -bitrate and -duration; drop -filemb")
+		return 2
+	}
+	fileBytes := *fileMB * 1e6
+	var streamOpts *bulletprime.StreamOptions
+	if *stream {
+		fileBytes = 0
+		streamOpts = &bulletprime.StreamOptions{
+			BitrateBps:   *bitrate * 1e6 / 8,
+			Duration:     *duration,
+			PlayoutDepth: *playout,
+		}
+	}
 	scen, ok := loadScenario(*scenFile, stderr)
 	if !ok {
 		return 1
@@ -297,7 +324,7 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 	exp, err := bulletprime.New(bulletprime.RunConfig{
 		Protocol:         bulletprime.Protocol(*protocol),
 		Nodes:            *nodes,
-		FileBytes:        *fileMB * 1e6,
+		FileBytes:        fileBytes,
 		Network:          bulletprime.NetworkPreset(*network),
 		DynamicBandwidth: *dynamic,
 		Scenario:         scen,
@@ -306,6 +333,7 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		Engine:           mode,
 		Shards:           *shards,
 		Testbed:          testbed,
+		Stream:           streamOpts,
 		// The CLI prints aggregates and streams -progress through an
 		// observer; it never reads Result.Series.
 		SampleEvery: -1,
@@ -325,9 +353,17 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer close(streamed)
 			for s := range obs.Samples() {
-				fmt.Fprintf(stderr, "t=%7.1fs  %3d/%d done  %8.2f Mbps goodput  %5.2f%% control\n",
-					s.Time, s.Completed, s.Receivers, s.GoodputBps*8/1e6,
-					100*s.ControlBytes/max1(s.ControlBytes+s.DataBytes))
+				// The progress line follows the workload kind: a live stream
+				// is judged by viewer lag and rebuffering, not completions.
+				if *stream {
+					fmt.Fprintf(stderr, "t=%7.1fs  lag p50 %6.2fs max %6.2fs  %2d rebuffering (%d events)  %8.2f Mbps viewer goodput\n",
+						s.Time, s.StreamLagP50, s.StreamLagMax,
+						s.Rebuffering, s.RebufferEvents, s.StreamGoodputBps*8/1e6)
+				} else {
+					fmt.Fprintf(stderr, "t=%7.1fs  %3d/%d done  %8.2f Mbps goodput  %5.2f%% control\n",
+						s.Time, s.Completed, s.Receivers, s.GoodputBps*8/1e6,
+						100*s.ControlBytes/max1(s.ControlBytes+s.DataBytes))
+				}
 				for _, a := range s.Annotations {
 					fmt.Fprintf(stderr, "           event @%.1fs: %s\n", a.At, a.Text)
 				}
@@ -357,11 +393,22 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	<-streamed
-	fmt.Fprintf(stdout, "%-14s %-12s %6s %10s %10s %10s %9s %11s\n",
-		"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished", "completions")
-	fmt.Fprintf(stdout, "%-14s %-12s %6d %10.1f %10.1f %10.1f %9v %11d\n",
-		*protocol, *network, *seed, res.Best(), res.Median(), res.Worst(),
-		res.Finished, len(res.CompletionTimes))
+	if rep := res.Stream; rep != nil {
+		fmt.Fprintf(stdout, "%-14s %-12s %6s %9s %9s %9s %10s %9s %9s %11s\n",
+			"protocol", "network", "seed", "lag_p50_s", "lag_p90_s", "lag_max_s",
+			"jitter_p50", "rebuffers", "stall_s", "goodput_mbps")
+		fmt.Fprintf(stdout, "%-14s %-12s %6d %9.2f %9.2f %9.2f %10.3f %9d %9.1f %11.2f\n",
+			*protocol, *network, *seed, rep.LagP50, rep.LagP90, rep.LagMax,
+			rep.JitterP50, rep.Rebuffers, rep.StallS, rep.GoodputBps*8/1e6)
+		fmt.Fprintf(stdout, "target %.2f Mbps for %.0fs; %d/%d viewers live, startup p50 %.2fs\n",
+			rep.TargetBps*8/1e6, rep.Duration, rep.Live, rep.Live+rep.Dead, rep.StartupP50)
+	} else {
+		fmt.Fprintf(stdout, "%-14s %-12s %6s %10s %10s %10s %9s %11s\n",
+			"protocol", "network", "seed", "best_s", "median_s", "worst_s", "finished", "completions")
+		fmt.Fprintf(stdout, "%-14s %-12s %6d %10.1f %10.1f %10.1f %9v %11d\n",
+			*protocol, *network, *seed, res.Best(), res.Median(), res.Worst(),
+			res.Finished, len(res.CompletionTimes))
+	}
 	if res.Cancelled {
 		fmt.Fprintln(stdout, "run cancelled; results above are partial")
 	}

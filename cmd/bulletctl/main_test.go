@@ -69,3 +69,57 @@ func TestScenarioLintExitCodes(t *testing.T) {
 		t.Fatalf("no verb: exit %d, want 2", code)
 	}
 }
+
+// runRun invokes the run verb in-process and returns its exit code plus
+// captured output.
+func runRun(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = runSingle(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunStreamFlagExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+		msg  string // required stderr substring for usage errors
+	}{
+		{"bitrate without stream", []string{"-bitrate", "2"}, 2, "require -stream"},
+		{"duration without stream", []string{"-duration", "30"}, 2, "require -stream"},
+		{"playout without stream", []string{"-playout", "4"}, 2, "require -stream"},
+		{"filemb with stream", []string{"-stream", "-filemb", "5"}, 2, "drop -filemb"},
+		{"stream on sharded engine", []string{"-stream", "-engine", "sharded",
+			"-network", "clustered", "-protocol", "scalefill"}, 1, "sequential engine"},
+		{"stream on non-streaming protocol", []string{"-stream", "-nodes", "8",
+			"-protocol", "bittorrent"}, 1, "does not support live streaming"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runRun(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d (stderr %q), want %d", code, stderr, tc.want)
+			}
+			if !strings.Contains(stderr, tc.msg) {
+				t.Fatalf("stderr %q missing %q", stderr, tc.msg)
+			}
+		})
+	}
+}
+
+// TestRunStreamSmall drives a real (tiny) streaming run through the CLI and
+// checks the stream-metrics report shape.
+func TestRunStreamSmall(t *testing.T) {
+	code, stdout, stderr := runRun(t,
+		"-stream", "-bitrate", "0.25", "-duration", "10",
+		"-nodes", "8", "-network", "modelnet-clean", "-protocol", "stream", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, col := range []string{"lag_p50_s", "rebuffers", "goodput_mbps", "viewers live"} {
+		if !strings.Contains(stdout, col) {
+			t.Fatalf("stream report missing %q:\n%s", col, stdout)
+		}
+	}
+}

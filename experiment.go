@@ -417,6 +417,14 @@ func (rec *recorder) tick(rig *harness.Rig, sys harness.System) {
 		UsefulBytes:     useful,
 		Annotations:     rec.takePending(),
 	}
+	if rig.Stream != nil {
+		ls := rig.Stream.Sample(now)
+		s.StreamLagP50 = ls.LagP50
+		s.StreamLagMax = ls.LagMax
+		s.Rebuffering = ls.Rebuffering
+		s.RebufferEvents = ls.RebufferEvents
+		s.StreamGoodputBps = ls.GoodputBps
+	}
 	if rec.recordSeries {
 		rec.series = append(rec.series, s)
 	}

@@ -63,6 +63,12 @@ type Config struct {
 	TreeDegree   int
 	RanSubPeriod float64
 
+	// StreamBps, when > 0, turns the source into a live stream: block i
+	// is released at i*BlockSize/StreamBps instead of the whole file
+	// existing at t=0. The tree push and mesh reconciliation never run
+	// ahead of the released prefix.
+	StreamBps float64
+
 	OnBlock    func(node netem.NodeID, blockID int, count int)
 	OnComplete func(node netem.NodeID)
 }
@@ -138,7 +144,11 @@ func (s *Session) Start() {
 	})
 	src := s.peers[s.cfg.Source]
 	src.rs.Start()
-	src.pushPump()
+	if s.cfg.StreamBps > 0 {
+		src.releaseStreamBlock()
+	} else {
+		src.pushPump()
+	}
 }
 
 // Complete reports whether every non-source member finished.
@@ -200,6 +210,7 @@ type bPeer struct {
 	srcNext      int  // source: next block to push
 	fwdChild     int  // interior: round-robin forward pointer
 	pumpPending  bool // source pump scheduled
+	released     int  // live-stream source: blocks emitted so far
 
 	complete bool
 }
@@ -216,8 +227,10 @@ func newBPeer(s *Session, id netem.NodeID) *bPeer {
 		claimed:   make(map[int]netem.NodeID),
 	}
 	if p.isSource {
-		for i := 0; i < s.cfg.NumBlocks; i++ {
-			p.store.Add(i, 0)
+		if s.cfg.StreamBps <= 0 {
+			for i := 0; i < s.cfg.NumBlocks; i++ {
+				p.store.Add(i, 0)
+			}
 		}
 		p.complete = true
 	}
@@ -239,6 +252,7 @@ func newBPeer(s *Session, id netem.NodeID) *bPeer {
 const (
 	evReconcile int32 = iota
 	evPushPump
+	evStreamRelease
 )
 
 // OnEvent dispatches the peer's periodic typed timers (engine plumbing).
@@ -249,7 +263,24 @@ func (p *bPeer) OnEvent(kind int32, _ any) {
 	case evPushPump:
 		p.pumpPending = false
 		p.pushPump()
+	case evStreamRelease:
+		p.releaseStreamBlock()
 	}
+}
+
+// releaseStreamBlock emits the next live block at the source
+// (Config.StreamBps pacing) and lets the tree push catch up.
+func (p *bPeer) releaseStreamBlock() {
+	if p.released >= p.s.cfg.NumBlocks {
+		return
+	}
+	id := p.released
+	p.released++
+	p.store.Add(id, p.s.rt.Now())
+	if p.released < p.s.cfg.NumBlocks {
+		p.s.rt.AfterEvent(p.s.cfg.BlockSize/p.s.cfg.StreamBps, p, evStreamRelease, nil)
+	}
+	p.pushPump()
 }
 
 func (p *bPeer) onMessage(c *proto.Conn, m proto.Message) {
@@ -281,18 +312,23 @@ func (p *bPeer) onMessage(c *proto.Conn, m proto.Message) {
 // Tree push: disjoint subsets down branches
 
 // pushPump advances the source push: each block goes to exactly one child
-// (disjoint data down branches), round-robin, skipping full pipes.
+// (disjoint data down branches), round-robin, skipping full pipes. A
+// live-stream source only pushes blocks it has released.
 func (p *bPeer) pushPump() {
 	if p.s.Complete() {
 		return
 	}
-	for p.srcNext < p.s.cfg.NumBlocks {
+	total := p.s.cfg.NumBlocks
+	if p.s.cfg.StreamBps > 0 {
+		total = p.released
+	}
+	for p.srcNext < total {
 		if !p.forwardToOneChild(p.srcNext) {
 			break
 		}
 		p.srcNext++
 	}
-	if p.srcNext < p.s.cfg.NumBlocks && !p.pumpPending {
+	if p.srcNext < total && !p.pumpPending {
 		p.pumpPending = true
 		p.s.rt.AfterEvent(pushPumpInterval, p, evPushPump, nil)
 	}

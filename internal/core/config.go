@@ -22,7 +22,11 @@
 //     requests, driven by sender-reported "in front" and "wasted" values.
 package core
 
-import "bulletprime/internal/netem"
+import (
+	"fmt"
+
+	"bulletprime/internal/netem"
+)
 
 // RequestStrategy selects the order in which known-available blocks are
 // requested from each sender (paper §3.3.2).
@@ -83,6 +87,31 @@ const (
 	InitialOutstanding = 3
 )
 
+// SenderSelection selects the bandwidth signal Bullet' ranks its senders
+// by when trimming and shedding peers.
+type SenderSelection int
+
+const (
+	// SelectLoss ranks senders by realized per-epoch delivery rate — the
+	// paper's throughput/loss-driven signal (a congested sender shows up
+	// only after its rate collapses).
+	SelectLoss SenderSelection = iota
+	// SelectDelay ranks senders by a receiver-side delay-gradient
+	// bandwidth estimate (stream.Estimator): rising one-way delay backs
+	// a sender's score off before loss shows it.
+	SelectDelay
+)
+
+func (s SenderSelection) String() string {
+	switch s {
+	case SelectLoss:
+		return "loss"
+	case SelectDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("SenderSelection(%d)", int(s))
+}
+
 // Config parameterizes one Bullet' session.
 type Config struct {
 	// Source is the node that initially holds the file.
@@ -126,6 +155,20 @@ type Config struct {
 	// §4.6 methodology, matching the paper's fixed 4% overhead accounting).
 	Encoded          bool
 	EncodingOverhead float64
+
+	// StreamBps, when > 0, turns the source into a live stream: instead
+	// of holding the whole file at t=0, block i is released (and becomes
+	// pushable/advertisable) at i*BlockSize/StreamBps seconds after the
+	// session starts. The pushed-entire-file RanSub gate (§3.3.5) does
+	// not apply — a live source is always at the live edge, so it
+	// advertises from the start. Incompatible with Encoded.
+	StreamBps float64
+
+	// Selection picks the signal senders are ranked (and trimmed) by:
+	// SelectLoss is the paper's realized per-epoch delivery rate,
+	// SelectDelay the REMB-style delay-gradient bandwidth estimate
+	// (DESIGN.md §11).
+	Selection SenderSelection
 
 	// OnBlock, if set, fires for every novel block arrival at a node.
 	OnBlock func(node netem.NodeID, blockID int, count int)

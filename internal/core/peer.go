@@ -9,6 +9,7 @@ import (
 	"bulletprime/internal/proto"
 	"bulletprime/internal/ransub"
 	"bulletprime/internal/sim"
+	"bulletprime/internal/stream"
 	"bulletprime/internal/trace"
 )
 
@@ -71,6 +72,9 @@ type peer struct {
 	nextPush     int
 	pushedOnce   bool
 	pushEvent    sim.EventRef
+	// released counts the blocks a live-stream source (Config.StreamBps)
+	// has emitted so far; the push pump and diffs never run ahead of it.
+	released int
 }
 
 func newPeer(s *Session, id netem.NodeID) *peer {
@@ -99,8 +103,9 @@ func newPeer(s *Session, id netem.NodeID) *peer {
 	}
 	if p.isSource {
 		// The source holds the whole file; in encoded mode blocks are
-		// generated lazily as the push stream advances.
-		if !s.cfg.Encoded {
+		// generated lazily as the push stream advances, and in stream
+		// mode they are released by the pacing timer at the live edge.
+		if !s.cfg.Encoded && s.cfg.StreamBps <= 0 {
 			for i := 0; i < s.cfg.NumBlocks; i++ {
 				p.store.Add(i, 0)
 			}
@@ -166,7 +171,7 @@ func (p *peer) onMessage(c *proto.Conn, m proto.Message) {
 	case kindRequest:
 		p.onRequest(c, m.Payload.(reqMsg))
 	case kindBlock:
-		p.onBlock(c, m.Payload.(blockMsg))
+		p.onBlock(c, m)
 	case kindPush:
 		p.onPush(c, m.Payload.(blockMsg))
 	}
@@ -197,6 +202,9 @@ func (p *peer) addSender(id netem.NodeID) {
 	}
 	if p.s.cfg.StaticOutstanding > 0 {
 		sp.desired = float64(p.s.cfg.StaticOutstanding)
+	}
+	if p.s.cfg.Selection == SelectDelay {
+		sp.est = new(stream.Estimator)
 	}
 	p.senders[id] = sp
 	p.meters[id] = trace.NewRateMeter(0.5, 24)
@@ -401,7 +409,8 @@ func (p *peer) pickBlock(sp *senderPeer) (int, bool) {
 }
 
 // onBlock processes a pulled block arrival.
-func (p *peer) onBlock(c *proto.Conn, bm blockMsg) {
+func (p *peer) onBlock(c *proto.Conn, m proto.Message) {
+	bm := m.Payload.(blockMsg)
 	sp, ok := c.State(p.node).(*senderPeer)
 	if !ok || sp.closed {
 		return
@@ -413,6 +422,11 @@ func (p *peer) onBlock(c *proto.Conn, bm blockMsg) {
 	sp.lastArrival = now
 	delete(p.claimed, bm.id)
 	p.meters[sp.id].Add(now, p.s.cfg.BlockSize)
+	if sp.est != nil && m.SentAt > 0 {
+		// One-way delay measured from the sender's enqueue time: it
+		// includes sender-side queueing, the delay-gradient signal.
+		sp.est.Observe(float64(now), float64(now-m.SentAt), m.Size)
+	}
 	p.s.BlocksPulled++
 	p.manageOutstanding(sp, bm)
 	p.acceptBlock(bm.id)
@@ -530,6 +544,7 @@ const (
 	evDiffBackoff int32 = iota
 	evPeriodicDiff
 	evPushPump
+	evStreamRelease
 )
 
 // OnEvent dispatches the peer's typed timers (engine plumbing).
@@ -551,6 +566,8 @@ func (p *peer) OnEvent(kind int32, payload any) {
 		p.s.rt.AfterEvent(p.s.cfg.PeriodicDiffs, p, evPeriodicDiff, rp)
 	case evPushPump:
 		p.pushPump()
+	case evStreamRelease:
+		p.releaseStreamBlock()
 	}
 }
 
@@ -772,15 +789,28 @@ func (p *peer) manageReceivers(outBW float64) {
 	p.clampPeerTargets()
 }
 
+// senderSignal is the bandwidth score a sender is ranked by: the realized
+// per-epoch rate under SelectLoss, or the delay-gradient estimate under
+// SelectDelay once the estimator has enough arrivals (falling back to the
+// realized rate until then, so young senders are judged the same way in
+// both modes).
+func (p *peer) senderSignal(sp *senderPeer) float64 {
+	if sp.est != nil && sp.est.Ready() {
+		return sp.est.Estimate()
+	}
+	return sp.rate
+}
+
 // enforcePeerTargets sheds peers when an adaptive target moved below the
 // current set size: without this, a lowered MAX_SENDERS would never take
 // effect. The slowest sender / lowest-ratio receiver goes first.
 func (p *peer) enforcePeerTargets() {
 	for len(p.senders) > p.maxSenders {
 		var worst *senderPeer
+		var worstSig float64
 		for _, sp := range p.sortedSenders() {
-			if worst == nil || sp.rate < worst.rate {
-				worst = sp
+			if sig := p.senderSignal(sp); worst == nil || sig < worstSig {
+				worst, worstSig = sp, sig
 			}
 		}
 		if worst == nil {
@@ -830,7 +860,7 @@ func (p *peer) trimSenders(now sim.Time) {
 	}
 	var st trace.Stats
 	for _, sp := range p.sortedSenders() {
-		st.Add(sp.rate)
+		st.Add(p.senderSignal(sp))
 	}
 	if st.Std() <= 0 {
 		return // all approximately equal: close nobody
@@ -838,11 +868,11 @@ func (p *peer) trimSenders(now sim.Time) {
 	cut := st.Mean() - TrimSigma*st.Std()
 	var victims []*senderPeer
 	for _, sp := range p.sortedSenders() {
-		if sp.rate < cut && float64(now-sp.addedAt) >= p.s.cfg.RanSubPeriod {
+		if p.senderSignal(sp) < cut && float64(now-sp.addedAt) >= p.s.cfg.RanSubPeriod {
 			victims = append(victims, sp)
 		}
 	}
-	sort.SliceStable(victims, func(i, j int) bool { return victims[i].rate < victims[j].rate })
+	sort.SliceStable(victims, func(i, j int) bool { return p.senderSignal(victims[i]) < p.senderSignal(victims[j]) })
 	for _, sp := range victims {
 		if len(p.senders) <= p.trimFloor() {
 			break

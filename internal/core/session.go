@@ -6,6 +6,7 @@ import (
 	"bulletprime/internal/netem"
 	"bulletprime/internal/proto"
 	"bulletprime/internal/sim"
+	"bulletprime/internal/stream"
 	"bulletprime/internal/tree"
 )
 
@@ -76,6 +77,9 @@ func NewSession(rt *proto.Runtime, cfg Config, rng *sim.RNG) *Session {
 	}
 	if len(cfg.Members) < 2 {
 		panic("core: need at least a source and one receiver")
+	}
+	if cfg.StreamBps > 0 && cfg.Encoded {
+		panic("core: StreamBps and Encoded both redefine the source emission; pick one")
 	}
 	s := &Session{
 		rt:    rt,
@@ -228,6 +232,11 @@ type senderPeer struct {
 	// lastUseful is the last time this sender advertised something new;
 	// exhausted senders are replaced when fresher candidates exist.
 	lastUseful sim.Time
+
+	// est is the per-sender delay-gradient bandwidth estimator, allocated
+	// only under Config.Selection == SelectDelay and fed on every block
+	// arrival (DESIGN.md §11).
+	est *stream.Estimator
 
 	closed bool
 }

@@ -35,11 +35,48 @@ func (p *peer) initSource(children map[netem.NodeID]*proto.Conn) {
 	}
 }
 
-// startPushing begins the periodic push pump.
+// startPushing begins the periodic push pump. A live-stream source
+// (Config.StreamBps) first starts the pacing timer that releases blocks at
+// the target bitrate; the pump then never runs ahead of the live edge.
 func (p *peer) startPushing() {
+	if p.s.cfg.StreamBps > 0 {
+		// A live source is always at its live edge: the §3.3.5
+		// pushed-entire-file gate has no meaning for a stream that is
+		// still being produced, so advertise in RanSub from the start.
+		p.pushedOnce = true
+		p.releaseStreamBlock()
+		return
+	}
 	if len(p.pushChildren) == 0 {
 		p.pushedOnce = true
 		return
+	}
+	p.pushPump()
+}
+
+// releaseStreamBlock emits the next live block: block i enters the source
+// store at i*BlockSize/StreamBps. Receivers hear about it through the
+// normal self-clocked diff path, and the push pump may now hand it to a
+// tree child.
+func (p *peer) releaseStreamBlock() {
+	if p.released >= p.s.cfg.NumBlocks {
+		return
+	}
+	now := p.s.rt.Now()
+	id := p.released
+	p.released++
+	p.store.Add(id, now)
+	// Self-clocked diffs (§3.3.4): idle receivers hear about the new
+	// block immediately; in the periodic-diff ablation the timers do it.
+	if p.s.cfg.PeriodicDiffs <= 0 {
+		for _, rp := range p.sortedReceivers() {
+			if rp.conn.QueueLen(p.node) == 0 {
+				p.sendDiff(rp, false)
+			}
+		}
+	}
+	if p.released < p.s.cfg.NumBlocks {
+		p.s.rt.AfterEvent(p.s.cfg.BlockSize/p.s.cfg.StreamBps, p, evStreamRelease, nil)
 	}
 	p.pushPump()
 }
@@ -49,11 +86,18 @@ func (p *peer) pushPump() {
 	if p.s.Complete() {
 		return // every receiver is done; stop generating events
 	}
+	if len(p.pushChildren) == 0 {
+		return
+	}
 	total := p.s.cfg.NumBlocks
-	if p.s.cfg.Encoded {
+	switch {
+	case p.s.cfg.Encoded:
 		// Encoded mode: a continuous stream of fresh block ids, bounded
 		// only by store capacity (§2.2 digital-fountain behaviour).
 		total = p.s.maxBlockID()
+	case p.s.cfg.StreamBps > 0:
+		// Live mode: only released blocks exist.
+		total = p.released
 	}
 	child := 0
 	for p.nextPush < total {

@@ -13,6 +13,7 @@ import (
 	"bulletprime/internal/netem"
 	"bulletprime/internal/proto"
 	"bulletprime/internal/sim"
+	"bulletprime/internal/stream"
 	"bulletprime/internal/trace"
 )
 
@@ -41,6 +42,14 @@ type Rig struct {
 	// Annotate, when set, receives human-readable timeline annotations as
 	// scenario events fire and flash-crowd waves start.
 	Annotate func(text string)
+
+	// Stream is the live-streaming tracker of a stream-mode run
+	// (SweepSpec.Stream): it observes block arrivals through OnBlock and
+	// aggregates lag/jitter/rebuffer metrics. Nil for one-shot runs.
+	Stream *stream.Tracker
+	// StreamBps is the live source pacing rate handed to stream-capable
+	// system builders via BuildCtx; 0 for one-shot runs.
+	StreamBps float64
 }
 
 // NewRig creates a rig over the given topology. The master RNG seeds every
@@ -154,6 +163,7 @@ func (r *Rig) BuildNamedSystem(name string, w Workload, coreMut func(*core.Confi
 		StreamSuffix: streamSuffix,
 		OnComplete:   r.record(),
 		OnBlock:      r.OnBlock,
+		StreamBps:    r.StreamBps,
 	})
 }
 
@@ -175,6 +185,10 @@ type RunResult struct {
 	// failure (socket bind) or an unsupported spec combination. The other
 	// fields are then empty, never partial.
 	Err error
+	// Stream holds the live-streaming report of a stream-mode run
+	// (SweepSpec.Stream): per-viewer lag, jitter, rebuffer, and goodput
+	// aggregates. Nil for one-shot runs.
+	Stream *stream.Report
 }
 
 // ControlOverhead returns control bytes as a fraction of all bytes.
@@ -232,12 +246,17 @@ type Hooks struct {
 // Hooks only read state, so an observed run is bit-identical to an
 // unobserved one with the same spec.
 func RunSpec(s SweepSpec) *RunResult {
+	if s.Stream != nil && (s.Testbed != nil || s.Engine == EngineSharded) {
+		return &RunResult{Label: s.Label,
+			Err: fmt.Errorf("harness: stream mode requires the sequential emulated engine")}
+	}
 	if s.Testbed != nil {
 		return runSpecTestbed(s)
 	}
 	if s.Engine == EngineSharded {
 		return runSpecSharded(s)
 	}
+	deadline := s.Deadline
 	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
 	rig := NewRig(topo, s.Seed)
 	var stop func() bool
@@ -246,10 +265,23 @@ func RunSpec(s SweepSpec) *RunResult {
 		rig.Annotate = s.Hooks.Annotate
 		stop = s.Hooks.Stop
 	}
+	if s.Stream != nil {
+		sp := s.Stream.normalized()
+		if end := sp.endTime(s.Scenario); end < deadline || deadline <= 0 {
+			deadline = end
+		}
+		if s.Workload.FileBytes <= 0 {
+			// Convenience for direct harness callers: derive the file from
+			// the stream geometry (the façade always sets it explicitly).
+			s.Workload.FileBytes = sp.config(s.Workload.BlockSize).ContentBytes()
+		}
+		installStream(rig, sp, s.Workload.BlockSize)
+	}
 	var sys System
 	if s.Scenario != nil {
 		sys = buildScenarioSystem(rig, s)
 	} else {
+		joinViewers(rig, rig.Members, 0)
 		sys = rig.BuildNamedSystem(s.systemName(), s.Workload, s.CoreMut, rig.Members, "")
 	}
 	if s.Dynamics != nil {
@@ -260,11 +292,11 @@ func RunSpec(s SweepSpec) *RunResult {
 			s.Hooks.OnStart(rig, sys)
 		}
 		if s.Hooks.TickEvery > 0 && s.Hooks.OnTick != nil {
-			scheduleTicks(rig, sys, s.Hooks, s.Deadline)
+			scheduleTicks(rig, sys, s.Hooks, deadline)
 		}
 	}
 	sys.Start()
-	stopped := runUntilComplete(rig, sys, s.Deadline, stop)
+	stopped := runUntilComplete(rig, sys, deadline, stop)
 	res := &RunResult{
 		Label:        s.Label,
 		CDF:          rig.CDF(),
@@ -274,6 +306,9 @@ func RunSpec(s SweepSpec) *RunResult {
 		EndedAt:      rig.Eng.Now(),
 		ControlBytes: rig.RT.ControlBytes,
 		DataBytes:    rig.RT.DataBytes,
+	}
+	if rig.Stream != nil {
+		res.Stream = rig.Stream.Report(float64(rig.Eng.Now()))
 	}
 	if s.Hooks != nil && s.Hooks.OnResult != nil {
 		s.Hooks.OnResult(res)

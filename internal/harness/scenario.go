@@ -41,6 +41,9 @@ func (e *rigEnv) Fail(id netem.NodeID) {
 	if n := e.rig.RT.Node(id); n != nil {
 		n.Fail()
 	}
+	if e.rig.Stream != nil {
+		e.rig.Stream.Fail(id)
+	}
 }
 
 func (e *rigEnv) Sources() []netem.NodeID {
@@ -91,6 +94,7 @@ func buildScenarioSystem(rig *Rig, s SweepSpec) System {
 	env := &rigEnv{rig: rig}
 	name := s.systemName()
 	if cohorts == nil {
+		joinViewers(rig, rig.Members, 0)
 		sys = rig.BuildNamedSystem(name, s.Workload, s.CoreMut, rig.Members, "")
 	} else {
 		ws := &waveSystem{rig: rig}
@@ -102,6 +106,9 @@ func buildScenarioSystem(rig *Rig, s SweepSpec) System {
 			}
 			// Sessions are built eagerly — proto nodes exist from t=0, so
 			// churn can hit future-wave members — and started at wave time.
+			// Wave viewers lag their own wave's live edge, so they join the
+			// stream tracker at wave time, not t=0.
+			joinViewers(rig, cohort, waves[i].At)
 			ws.waves = append(ws.waves, waveEntry{
 				at:   waves[i].At,
 				size: len(cohort),

@@ -57,6 +57,15 @@ type SweepSpec struct {
 	// run of the same seed.
 	Scenario *scenario.Program
 
+	// Stream, when non-nil, makes the run a live stream: the source paces
+	// block emission at Stream.BitrateBps for Stream.Duration, every member
+	// becomes a tracked viewer, and RunResult.Stream reports lag, jitter,
+	// rebuffering, and goodput. The Workload's FileBytes may be left zero to
+	// derive the content size from the stream geometry. Incompatible with
+	// EngineSharded and Testbed; requires a stream-capable system
+	// (RegisterStreamCapable).
+	Stream *StreamSpec
+
 	// Testbed, when non-nil, runs the spec over the real-socket UDP backend
 	// instead of the emulated network: same rig, same registered system,
 	// traffic on real sockets, wall-clock-driven virtual time. Incompatible

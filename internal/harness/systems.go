@@ -34,6 +34,11 @@ type BuildCtx struct {
 	// (node, block id, blocks held). Builders chain it after any
 	// CoreMut-installed callback rather than replacing one.
 	OnBlock func(node netem.NodeID, blockID, count int)
+	// StreamBps, when positive, asks the session to pace its source at this
+	// rate (live-streaming mode). Builders that honor it register with
+	// RegisterStreamCapable; others may ignore it — the façade rejects the
+	// combination before a rig is built.
+	StreamBps float64
 }
 
 // SystemBuilder constructs a protocol session from a build context. Third
@@ -93,6 +98,13 @@ func init() {
 	RegisterSystem(KindBullet.String(), buildBullet)
 	RegisterSystem(KindBitTorrent.String(), buildBitTorrent)
 	RegisterSystem(KindSplitStream.String(), buildSplitStream)
+	// Bullet' with delay-gradient sender selection (DESIGN.md §11): same
+	// session, Config.Selection flipped before CoreMut so experiments can
+	// still override it.
+	RegisterSystem("BulletPrimeDelay", buildBulletPrimeDelay)
+	RegisterStreamCapable(KindBulletPrime.String())
+	RegisterStreamCapable(KindBullet.String())
+	RegisterStreamCapable("BulletPrimeDelay")
 }
 
 func buildBulletPrime(ctx BuildCtx) System {
@@ -102,6 +114,7 @@ func buildBulletPrime(ctx BuildCtx) System {
 		NumBlocks:  ctx.Workload.NumBlocks(),
 		BlockSize:  ctx.Workload.BlockSize,
 		Strategy:   core.RarestRandom,
+		StreamBps:  ctx.StreamBps,
 		OnComplete: ctx.OnComplete,
 	}
 	if ctx.CoreMut != nil {
@@ -111,12 +124,24 @@ func buildBulletPrime(ctx BuildCtx) System {
 	return core.NewSession(ctx.Rig.RT, cfg, ctx.Rig.Master.Stream("bulletprime"+ctx.StreamSuffix))
 }
 
+func buildBulletPrimeDelay(ctx BuildCtx) System {
+	mut := ctx.CoreMut
+	ctx.CoreMut = func(cfg *core.Config) {
+		cfg.Selection = core.SelectDelay
+		if mut != nil {
+			mut(cfg)
+		}
+	}
+	return buildBulletPrime(ctx)
+}
+
 func buildBullet(ctx BuildCtx) System {
 	return bullet.NewSession(ctx.Rig.RT, bullet.Config{
 		Source:     ctx.Members[0],
 		Members:    ctx.Members,
 		NumBlocks:  ctx.Workload.NumBlocks(),
 		BlockSize:  ctx.Workload.BlockSize,
+		StreamBps:  ctx.StreamBps,
 		OnBlock:    ctx.OnBlock,
 		OnComplete: ctx.OnComplete,
 	}, ctx.Rig.Master.Stream("bullet"+ctx.StreamSuffix))

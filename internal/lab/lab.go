@@ -93,6 +93,13 @@ type Sample struct {
 	DuplicateBlocks int     `json:"duplicate_blocks"`
 	DuplicateBytes  float64 `json:"duplicate_bytes"`
 	UsefulBytes     float64 `json:"useful_bytes"`
+	// Live-streaming fields; omitempty keeps every one-shot record's
+	// payload (and thus its content hash) byte-stable.
+	StreamLagP50     float64 `json:"stream_lag_p50,omitempty"`
+	StreamLagMax     float64 `json:"stream_lag_max,omitempty"`
+	Rebuffering      int     `json:"rebuffering,omitempty"`
+	RebufferEvents   int     `json:"rebuffer_events,omitempty"`
+	StreamGoodputBps float64 `json:"stream_goodput_bps,omitempty"`
 }
 
 // Annotation is one archived timeline marker (a scenario event firing).

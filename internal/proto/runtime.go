@@ -35,6 +35,14 @@ type Message struct {
 	Kind    int
 	Size    float64
 	Payload any
+
+	// SentAt is stamped by the runtime when the sender enqueues the
+	// message (not when it reaches the wire), so now-SentAt at delivery
+	// is the full one-way delay including sender-side queueing — the
+	// congestion signal delay-based bandwidth estimators
+	// (stream.Estimator, DESIGN.md §11) are built on. Zero means
+	// unstamped (e.g. a transport backend that does not carry it).
+	SentAt sim.Time
 }
 
 // MsgOverhead is the per-message framing overhead in bytes charged on the
@@ -368,6 +376,7 @@ func (c *Conn) Send(n *Node, m Message) {
 	if m.Size < MsgOverhead {
 		m.Size += MsgOverhead
 	}
+	m.SentAt = c.rt.Eng.Now()
 	if c.rt.Transport != nil {
 		c.transportSend(n, m)
 		return

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimatorNotReadyUntilMinSamples(t *testing.T) {
+	var e Estimator
+	for i := 0; i < estMinSamples-1; i++ {
+		if e.Ready() || e.Estimate() != 0 {
+			t.Fatalf("ready after %d samples", i)
+		}
+		e.Observe(float64(i), 0.05, 16384)
+	}
+	e.Observe(float64(estMinSamples), 0.05, 16384)
+	if !e.Ready() || e.Estimate() <= 0 {
+		t.Fatalf("not ready after %d samples (estimate %v)", e.Samples(), e.Estimate())
+	}
+}
+
+// Flat delay: the estimate equals the measured receive rate.
+func TestEstimatorFlatDelayTracksRate(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 20; i++ {
+		e.Observe(float64(i)*0.5, 0.05, 16384)
+	}
+	if g := e.Gradient(); math.Abs(g) > 1e-12 {
+		t.Fatalf("flat delay gradient = %v", g)
+	}
+	// 19 inter-arrival blocks over 9.5 s.
+	want := 19 * 16384 / 9.5
+	if got := e.Estimate(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+	if e.Overusing() {
+		t.Fatal("flat delay flagged as overuse")
+	}
+}
+
+// Rising delay (sender queue growing) backs the estimate off below the
+// measured rate; recovery clears it.
+func TestEstimatorOveruseBackoff(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 10; i++ {
+		e.Observe(float64(i)*0.5, 0.05, 16384)
+	}
+	base := e.Estimate()
+	for i := 10; i < 30; i++ {
+		e.Observe(float64(i)*0.5, 0.05+0.02*float64(i-9), 16384) // +40 ms/s slope
+	}
+	if !e.Overusing() {
+		t.Fatalf("gradient %v did not flag overuse", e.Gradient())
+	}
+	if got := e.Estimate(); math.Abs(got-betaBackoff*e.Rate()) > 1e-9 {
+		t.Fatalf("Estimate = %v, want %v * rate %v", got, betaBackoff, e.Rate())
+	}
+	if e.Estimate() >= base {
+		t.Fatalf("overuse estimate %v not below pre-overuse %v", e.Estimate(), base)
+	}
+	// Delay flattens again: the window drains the slope and the backoff
+	// clears.
+	for i := 30; i < 80; i++ {
+		e.Observe(float64(i)*0.5, 0.45, 16384)
+	}
+	if e.Overusing() {
+		t.Fatalf("overuse stuck after recovery (gradient %v)", e.Gradient())
+	}
+	if got, want := e.Estimate(), e.Rate(); got != want {
+		t.Fatalf("recovered Estimate = %v, want full rate %v", got, want)
+	}
+}
+
+// A single jittered arrival must not trigger backoff (sustained-overuse
+// hysteresis).
+func TestEstimatorHysteresis(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 8; i++ {
+		e.Observe(float64(i)*0.5, 0.05, 16384)
+	}
+	e.Observe(4.5, 0.25, 16384) // one spike
+	if e.Overusing() {
+		t.Fatal("one spike triggered backoff")
+	}
+}
+
+func TestEstimatorDegenerateInputs(t *testing.T) {
+	var e Estimator
+	e.Observe(math.NaN(), 1, 1)
+	e.Observe(1, math.Inf(1), 1)
+	e.Observe(1, 1, math.NaN())
+	if e.Samples() != 0 {
+		t.Fatalf("non-finite inputs stored: %d", e.Samples())
+	}
+	// Same-timestamp arrivals: zero span, zero variance — no division
+	// blowups.
+	for i := 0; i < 10; i++ {
+		e.Observe(3, -0.5, 16384)
+	}
+	if g := e.Gradient(); g != 0 {
+		t.Fatalf("zero-variance gradient = %v", g)
+	}
+	if r := e.Rate(); r != 0 {
+		t.Fatalf("zero-span rate = %v", r)
+	}
+	if est := e.Estimate(); est != 0 || math.IsNaN(est) {
+		t.Fatalf("degenerate estimate = %v", est)
+	}
+}
+
+// FuzzDelayGradient hammers the delay-gradient window with arbitrary
+// observation triples: whatever arrives, the estimator must stay finite,
+// non-negative, and bounded by its window.
+func FuzzDelayGradient(f *testing.F) {
+	f.Add(0.0, 0.05, 16384.0, uint8(10))
+	f.Add(1.5, -3.0, 1e12, uint8(200))
+	f.Add(math.MaxFloat64, math.SmallestNonzeroFloat64, -5.0, uint8(64))
+	f.Fuzz(func(t *testing.T, at, owd, bytes float64, reps uint8) {
+		var e Estimator
+		for i := 0; i <= int(reps); i++ {
+			// Vary the inputs deterministically so windows see mixed data.
+			e.Observe(at+float64(i), owd*float64(i%7), bytes/float64(1+i%5))
+			if n := e.Samples(); n < 0 || n > estWindow {
+				t.Fatalf("window size %d out of bounds", n)
+			}
+			if g := e.Gradient(); math.IsNaN(g) || math.IsInf(g, 0) {
+				t.Fatalf("gradient not finite: %v", g)
+			}
+			if r := e.Rate(); math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				t.Fatalf("rate invalid: %v", r)
+			}
+			if est := e.Estimate(); math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+				t.Fatalf("estimate invalid: %v", est)
+			}
+		}
+	})
+}

@@ -135,6 +135,10 @@ func init() {
 	} {
 		protocols[name] = sys.String()
 	}
+	// ProtocolStream is Bullet' with delay-gradient sender selection; the
+	// harness registers the system itself (it is a core.Config flip, not a
+	// new session type).
+	protocols[ProtocolStream] = "BulletPrimeDelay"
 	networks[NetworkModelNet] = func(n int) TopologyFn { return harness.ModelNetTopology(n) }
 	networks[NetworkModelNetClean] = func(n int) TopologyFn { return harness.LosslessModelNetTopology(n) }
 	networks[NetworkConstrained] = func(n int) TopologyFn { return harness.ConstrainedAccessTopology(n) }
