@@ -200,6 +200,12 @@ func recordRun(a *Archive, cfg RunConfig, res *Result, seriesEvery float64) (str
 				Rebuffering:      s.Rebuffering,
 				RebufferEvents:   s.RebufferEvents,
 				StreamGoodputBps: s.StreamGoodputBps,
+
+				TestbedRTTp50:        s.TestbedRTTp50,
+				TestbedRTTMax:        s.TestbedRTTMax,
+				TestbedUnackedBytes:  s.TestbedUnackedBytes,
+				TestbedRetransmits:   s.TestbedRetransmits,
+				TestbedInjectedDrops: s.TestbedInjectedDrops,
 			}
 		}
 	}

@@ -737,6 +737,77 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkObserverOverheadSharded costs the sharded engine's sampling path
+// at Scale5000: the scalefill preset (200 compact clusters of 25, 8 shards,
+// per-shard link churn) run unobserved in one Group.Run versus observed —
+// horizon-stepped every virtual second with a subscribed channel draining
+// the merged samples. The barrier walk re-partitions the conservative
+// windows without reordering events, so the wall-time ratio is pure
+// sampling overhead; the same 1.5 smoke ceiling applies.
+func BenchmarkObserverOverheadSharded(b *testing.B) {
+	cfg := bulletprime.RunConfig{
+		Protocol:  bulletprime.ProtocolScalefill,
+		Network:   bulletprime.NetworkClusteredCompact,
+		Nodes:     5000,
+		FileBytes: 1.5e6,
+		Seed:      7,
+		Deadline:  12,
+		Engine:    bulletprime.EngineSharded,
+		Shards:    8,
+	}
+	run := func(observe bool) time.Duration {
+		start := time.Now()
+		if !observe {
+			if _, err := bulletprime.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+			return time.Since(start)
+		}
+		exp, err := bulletprime.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples := 0
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range obs.Samples() {
+				samples++
+			}
+		}()
+		if _, err := exp.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		<-drained
+		if samples == 0 {
+			b.Fatal("observed sharded run produced no samples")
+		}
+		return time.Since(start)
+	}
+	minBase, minObs := time.Duration(0), time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		for pair := 0; pair < 2; pair++ {
+			base := run(false)
+			obs := run(true)
+			if minBase == 0 || base < minBase {
+				minBase = base
+			}
+			if minObs == 0 || obs < minObs {
+				minObs = obs
+			}
+		}
+	}
+	ratio := float64(minObs) / float64(minBase)
+	b.ReportMetric(ratio, "overhead_ratio")
+	if ratio > 1.5 {
+		b.Errorf("sharded observer overhead ratio %.3f exceeds the 1.5 smoke ceiling", ratio)
+	}
+}
+
 // --- Live-streaming workload (DESIGN.md §11) ---------------------------------
 
 // BenchmarkStream500 costs the streaming subsystem at 500-node scale: a

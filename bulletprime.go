@@ -57,6 +57,7 @@ import (
 
 	"bulletprime/internal/core"
 	"bulletprime/internal/harness"
+	"bulletprime/internal/obs"
 	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
 	"bulletprime/internal/stream"
@@ -115,9 +116,11 @@ const (
 	// EngineSharded partitions a run into per-cluster shards executing in
 	// parallel under a conservative lookahead clock (DESIGN.md §9). It
 	// requires a clustered network preset and a protocol registered for
-	// sharded execution (harness.RegisterShardedSystem), and supports
-	// neither scenarios nor observers — sharded systems drive their own
-	// per-shard dynamics.
+	// sharded execution (harness.RegisterShardedSystem), and does not
+	// support scenarios — sharded systems drive their own per-shard
+	// dynamics. Observers and the sampled time-series work: samples are
+	// merged from per-shard counters at horizon barriers (DESIGN.md §12),
+	// and an observed run stays bit-identical to an unobserved one.
 	EngineSharded = harness.EngineSharded
 )
 
@@ -153,8 +156,9 @@ const (
 	// UDP sockets (loopback by default, a peer address table for
 	// multi-host), with the engine's virtual clock driven by the wall
 	// clock. Tune it with RunConfig.Testbed; incompatible with
-	// EngineSharded, Scenario, DynamicBandwidth, and observers. See
-	// DESIGN.md §10.
+	// EngineSharded, Scenario, and DynamicBandwidth. Observers work, with
+	// Sample's Testbed* transport gauges populated (measured RTTs, unacked
+	// bytes, retransmits). See DESIGN.md §10 and §12.
 	NetworkTestbedUDP NetworkPreset = "testbed-udp"
 )
 
@@ -182,6 +186,21 @@ type TestbedOptions struct {
 	// transmission attempt (a test hook; DropSeed seeds the injector).
 	DropProb float64
 	DropSeed int64
+}
+
+// TraceOptions enables structured event tracing for a run: typed spans are
+// recorded for protocol decisions (sender trims and promotions, rechokes,
+// reconcile rounds, stream rebuffers, testbed retransmits) into a bounded
+// ring and returned as Result.Trace. Tracing only reads run state, so a
+// traced run is bit-identical to an untraced one; on sharded runs each
+// shard records privately and the spans merge deterministically after the
+// run. Export the report with bulletctl trace (JSONL or Chrome
+// trace_event). See DESIGN.md §12.
+type TraceOptions struct {
+	// Capacity bounds the span ring; 0 picks the default (16384). When the
+	// ring is full the oldest span is evicted and TraceReport.Dropped
+	// counts it — per-kind Counts still cover every recorded event.
+	Capacity int
 }
 
 // StreamOptions makes a run a live stream: the source emits one block every
@@ -262,8 +281,9 @@ type RunConfig struct {
 	// value) or EngineSharded. Sharded runs execute per-cluster shards in
 	// parallel within one run; they require a clustered network preset and
 	// a sharded-registered protocol (e.g. ProtocolScalefill), and are
-	// incompatible with Scenario, DynamicBandwidth, observers, and the
-	// sampled time-series.
+	// incompatible with Scenario and DynamicBandwidth. Observers and the
+	// sampled time-series work — samples merge per-shard counters at
+	// horizon barriers, without perturbing the run.
 	Engine EngineMode
 	// Shards is the shard count for EngineSharded; 0 picks the default.
 	// Results depend on the shard count — it is part of the experiment's
@@ -291,6 +311,11 @@ type RunConfig struct {
 	// Result.Stream report. FileBytes must then be zero — it is derived
 	// from the stream geometry.
 	Stream *StreamOptions
+
+	// Trace, when non-nil, records structured protocol-decision spans into
+	// Result.Trace (see TraceOptions). Works on every engine and network
+	// backend; never perturbs the run.
+	Trace *TraceOptions
 
 	// Bullet'-specific knobs (ignored by other protocols).
 	Strategy          RequestStrategy // default RarestRandom
@@ -378,6 +403,9 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 	case cfg.SampleEvery < 0:
 		cfg.SampleEvery = -1 // canonical "series disabled"
 	}
+	if cfg.Trace != nil && cfg.Trace.Capacity < 0 {
+		return cfg, fmt.Errorf("bulletprime: Trace.Capacity must be >= 0, got %d", cfg.Trace.Capacity)
+	}
 	// The testbed combination rules live here, next to the sharded ones, so
 	// every entry point rejects a conflicted config with the same message.
 	if cfg.Network == NetworkTestbedUDP {
@@ -399,9 +427,6 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 		if cfg.Testbed.DropProb < 0 || cfg.Testbed.DropProb >= 1 {
 			return cfg, fmt.Errorf("bulletprime: Testbed DropProb must be in [0, 1), got %v", cfg.Testbed.DropProb)
 		}
-		// Testbed runs keep no sampled time-series: the recorder's cadence
-		// is calibrated against the deterministic emulated clock.
-		cfg.SampleEvery = -1
 	} else if cfg.Testbed != nil {
 		return cfg, fmt.Errorf("bulletprime: Testbed options require Network: NetworkTestbedUDP, got %q", cfg.Network)
 	}
@@ -416,9 +441,6 @@ func (cfg RunConfig) normalized() (RunConfig, error) {
 			return cfg, fmt.Errorf("bulletprime: protocol %q is not registered for sharded execution (registered: %v)",
 				cfg.Protocol, harness.ShardedSystemNames())
 		}
-		// Sharded runs keep no time-series: the recorder hooks are built
-		// around a single engine's clock.
-		cfg.SampleEvery = -1
 	} else {
 		if cfg.Shards != 0 || cfg.ShardWorkers != 0 {
 			return cfg, fmt.Errorf("bulletprime: Shards/ShardWorkers are sharded-engine knobs; set Engine: EngineSharded")
@@ -488,6 +510,11 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		}
 	}
 
+	var tracer *obs.Tracer
+	if cfg.Trace != nil {
+		tracer = obs.NewTracer(cfg.Trace.Capacity)
+	}
+
 	return harness.SweepSpec{
 		Label:    fmt.Sprintf("%s/%s/seed%d", cfg.Protocol, cfg.Network, cfg.Seed),
 		Seed:     cfg.Seed,
@@ -503,6 +530,7 @@ func buildSpec(cfg RunConfig) (harness.SweepSpec, error) {
 		Workers:  cfg.ShardWorkers,
 		Testbed:  tb,
 		Stream:   streamSpec(cfg.Stream),
+		Tracer:   tracer,
 	}, nil
 }
 
@@ -573,6 +601,15 @@ type Sample struct {
 	Rebuffering      int
 	RebufferEvents   int
 	StreamGoodputBps float64
+	// Testbed transport gauges, populated only on NetworkTestbedUDP runs:
+	// measured per-pair RTT (median and worst across active pairs, virtual
+	// seconds), bytes sent but not yet acknowledged, and the cumulative
+	// retransmission and injected-loss counters. See DESIGN.md §10, §12.
+	TestbedRTTp50        float64
+	TestbedRTTMax        float64
+	TestbedUnackedBytes  float64
+	TestbedRetransmits   int
+	TestbedInjectedDrops int
 	// Nodes holds per-node progress, only on streams subscribed with
 	// ObserverConfig.PerNode (Result.Series omits it).
 	Nodes []NodeProgress
@@ -606,8 +643,50 @@ type Result struct {
 	// (RunConfig.Stream): per-viewer lag/jitter/rebuffer rows and their
 	// aggregates. Nil for one-shot runs.
 	Stream *StreamReport
+	// Trace is the structured event trace of a traced run
+	// (RunConfig.Trace): recorded spans in deterministic order plus
+	// per-kind counts. Nil when tracing was not enabled.
+	Trace *TraceReport
 
 	cdf *trace.CDF
+}
+
+// TraceSpan is one recorded protocol-decision event: what happened (Kind),
+// when (virtual seconds), where (Node, and the Peer it concerned — -1 when
+// the event has no counterpart node), and a short free-form Note.
+type TraceSpan struct {
+	At   float64 `json:"at"`
+	Kind string  `json:"kind"`
+	Node int     `json:"node"`
+	Peer int     `json:"peer"`
+	Note string  `json:"note,omitempty"`
+}
+
+// TraceReport is a traced run's structured event record: the retained
+// spans, ordered by (time, shard, record order); per-kind totals over
+// every recorded event (eviction never loses a count); and the number of
+// spans evicted from the bounded ring.
+type TraceReport struct {
+	Spans   []TraceSpan    `json:"spans"`
+	Counts  map[string]int `json:"counts"`
+	Dropped int            `json:"dropped,omitempty"`
+}
+
+// traceReport converts the tracer's final state into the public report.
+func traceReport(t *obs.Tracer) *TraceReport {
+	spans := t.Spans()
+	rep := &TraceReport{
+		Spans:   make([]TraceSpan, len(spans)),
+		Counts:  make(map[string]int, len(t.Counts())),
+		Dropped: int(t.Dropped()),
+	}
+	for i, s := range spans {
+		rep.Spans[i] = TraceSpan{At: s.At, Kind: s.Kind, Node: s.Node, Peer: s.Peer, Note: s.Note}
+	}
+	for k, n := range t.Counts() {
+		rep.Counts[k] = int(n)
+	}
+	return rep
 }
 
 // StreamReport re-exports the streaming tracker's end-of-run report:

@@ -143,6 +143,9 @@ func runShow(args []string, stdout, stderr io.Writer) int {
 		m.Finished, m.Elapsed, 100*m.ControlOverhead)
 	fmt.Fprintf(stdout, "  records:   %d completions, %d samples, %d annotations\n",
 		len(r.CompletionTimes), len(r.Series), len(r.Annotations))
+	if len(r.Series) > 0 {
+		seriesSummary(stdout, r.Series)
+	}
 	names := make([]string, 0, len(m.Quantiles))
 	for q := range m.Quantiles {
 		names = append(names, q)
@@ -154,6 +157,62 @@ func runShow(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "  config:    %s\n", string(m.Config))
 	return 0
+}
+
+// seriesSummary renders a recorded time-series as a compact per-metric
+// digest — first/last/min/max per column — so an archived run is
+// inspectable without re-exporting it. Streaming and testbed columns
+// appear only when the series populates them.
+func seriesSummary(w io.Writer, series []lab.Sample) {
+	type col struct {
+		name string
+		get  func(lab.Sample) float64
+	}
+	cols := []col{
+		{"completed", func(s lab.Sample) float64 { return float64(s.Completed) }},
+		{"goodput_bps", func(s lab.Sample) float64 { return s.GoodputBps }},
+		{"control_bytes", func(s lab.Sample) float64 { return s.ControlBytes }},
+		{"data_bytes", func(s lab.Sample) float64 { return s.DataBytes }},
+		{"duplicate_blocks", func(s lab.Sample) float64 { return float64(s.DuplicateBlocks) }},
+		{"useful_bytes", func(s lab.Sample) float64 { return s.UsefulBytes }},
+	}
+	optional := []col{
+		{"stream_lag_p50", func(s lab.Sample) float64 { return s.StreamLagP50 }},
+		{"stream_lag_max", func(s lab.Sample) float64 { return s.StreamLagMax }},
+		{"rebuffering", func(s lab.Sample) float64 { return float64(s.Rebuffering) }},
+		{"rebuffer_events", func(s lab.Sample) float64 { return float64(s.RebufferEvents) }},
+		{"stream_goodput_bps", func(s lab.Sample) float64 { return s.StreamGoodputBps }},
+		{"testbed_rtt_p50", func(s lab.Sample) float64 { return s.TestbedRTTp50 }},
+		{"testbed_rtt_max", func(s lab.Sample) float64 { return s.TestbedRTTMax }},
+		{"testbed_unacked", func(s lab.Sample) float64 { return s.TestbedUnackedBytes }},
+		{"testbed_retransmits", func(s lab.Sample) float64 { return float64(s.TestbedRetransmits) }},
+		{"testbed_inj_drops", func(s lab.Sample) float64 { return float64(s.TestbedInjectedDrops) }},
+	}
+	for _, c := range optional {
+		for _, s := range series {
+			if c.get(s) != 0 {
+				cols = append(cols, c)
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "  series (%d samples, t=%.1f..%.1f s):\n",
+		len(series), series[0].Time, series[len(series)-1].Time)
+	fmt.Fprintf(w, "    %-20s %12s %12s %12s %12s\n", "metric", "first", "last", "min", "max")
+	for _, c := range cols {
+		first, last := c.get(series[0]), c.get(series[len(series)-1])
+		lo, hi := first, first
+		for _, s := range series[1:] {
+			v := c.get(s)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(w, "    %-20s %12.6g %12.6g %12.6g %12.6g\n", c.name, first, last, lo, hi)
+	}
 }
 
 // runCompare diffs two selected run sets and prints the A/B report.

@@ -22,6 +22,9 @@
 //	bulletctl report -archive bench/ -o REPORT.md
 //	bulletctl gate -archive bench/ -baseline BENCH_BASELINE.json
 //	go test -run '^$' -bench ... -benchmem ./... | bulletctl perfgate -baseline BENCH_PERF.json
+//	bulletctl run -nodes 100 -engine sharded -network clustered -protocol scalefill -metrics-addr :9100
+//	bulletctl metrics -archive bench/ -format prom 1a2b3c4d
+//	bulletctl trace -nodes 30 -filemb 5 -format chrome -o run.trace.json
 //
 // Figure output is gnuplot-style text: a summary table (best/median/p90/
 // worst download times per series) followed by the raw CDF points. Sweep
@@ -67,6 +70,8 @@ var subcommands = map[string]func(args []string, stdout, stderr io.Writer) int{
 	"report":     runReport,
 	"gate":       runGate,
 	"perfgate":   runPerfGate,
+	"metrics":    runMetrics,
+	"trace":      runTrace,
 }
 
 func usage(w io.Writer) {
@@ -253,7 +258,8 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "master random seed")
 		deadline = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
 		progress = fs.Bool("progress", false, "stream live samples to stderr while running")
-		every    = fs.Float64("every", 5, "progress sample cadence in virtual seconds")
+		every    = fs.Float64("every", 5, "sample cadence in virtual seconds (progress lines, live metrics, archived series)")
+		metrics  = fs.String("metrics-addr", "", "serve the run's live metrics on this address (/metrics Prometheus, /metrics.json; :0 picks a port)")
 		archDir  = fs.String("archive", "", "record the completed run into this experiment archive")
 		version  = fs.String("version", "", "code version stamped onto archived runs (default: binary VCS revision, or dev)")
 		engine   = fs.String("engine", "sequential", "execution engine: sequential or sharded (sharded needs a clustered network and a sharded protocol, e.g. scalefill)")
@@ -335,8 +341,9 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		Testbed:          testbed,
 		Stream:           streamOpts,
 		// The CLI prints aggregates and streams -progress through an
-		// observer; it never reads Result.Series.
-		SampleEvery: -1,
+		// observer, never Result.Series — but an archived run records a
+		// series at the -every cadence so show/metrics can render it later.
+		SampleEvery: seriesEvery(arch != nil, *every),
 		Archive:     arch,
 	})
 	if err != nil {
@@ -383,7 +390,25 @@ func runSingle(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(*timeout*float64(time.Second)))
 		defer cancel()
 	}
+	var msrv *metricsServer
+	if *metrics != "" {
+		labels := map[string]string{
+			"protocol": *protocol,
+			"network":  *network,
+			"seed":     fmt.Sprintf("%d", *seed),
+		}
+		msrv, err = serveMetrics(*metrics, exp, labels, *every, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return 1
+		}
+	}
 	res, err := exp.Run(ctx)
+	if msrv != nil {
+		// The run is over (every observer stream is closed), so the last
+		// stored sample is final; stop accepting scrapes.
+		msrv.close()
+	}
 	profOK := prof.stop(stderr)
 	if err != nil && res == nil {
 		fmt.Fprintln(stderr, "bulletctl:", err)
@@ -534,6 +559,15 @@ func runCrosscheck(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "[crosscheck, %.1fs wall]\n", time.Since(start).Seconds())
 	return 0
+}
+
+// seriesEvery picks the run's recorded-series cadence: archived runs keep a
+// series so show/metrics can render them; unarchived CLI runs record none.
+func seriesEvery(archived bool, every float64) float64 {
+	if archived {
+		return every
+	}
+	return -1
 }
 
 func max1(x float64) float64 {

@@ -1,0 +1,272 @@
+package main
+
+// The observability subcommands: metrics re-exports an archived run as
+// Prometheus text-format or JSON, trace runs one traced experiment and
+// exports its structured event spans as Chrome trace_event JSON or JSONL,
+// and `run -metrics-addr` serves a live run's latest sample over HTTP for
+// scraping. All rendering goes through internal/obs and internal/lab, so
+// archived, live, and traced views of the same run agree. See DESIGN.md §12.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"bulletprime"
+	"bulletprime/internal/lab"
+	"bulletprime/internal/obs"
+)
+
+// labSample converts a façade sample to the archive layer's form — the
+// shared input of every metrics rendering path (live scrape and archived
+// re-export).
+func labSample(s bulletprime.Sample) lab.Sample {
+	return lab.Sample{
+		Time:             s.Time,
+		Completed:        s.Completed,
+		Receivers:        s.Receivers,
+		GoodputBps:       s.GoodputBps,
+		ControlBytes:     s.ControlBytes,
+		DataBytes:        s.DataBytes,
+		DuplicateBlocks:  s.DuplicateBlocks,
+		DuplicateBytes:   s.DuplicateBytes,
+		UsefulBytes:      s.UsefulBytes,
+		StreamLagP50:     s.StreamLagP50,
+		StreamLagMax:     s.StreamLagMax,
+		Rebuffering:      s.Rebuffering,
+		RebufferEvents:   s.RebufferEvents,
+		StreamGoodputBps: s.StreamGoodputBps,
+
+		TestbedRTTp50:        s.TestbedRTTp50,
+		TestbedRTTMax:        s.TestbedRTTMax,
+		TestbedUnackedBytes:  s.TestbedUnackedBytes,
+		TestbedRetransmits:   s.TestbedRetransmits,
+		TestbedInjectedDrops: s.TestbedInjectedDrops,
+	}
+}
+
+// runMetrics implements the metrics subcommand: render one archived run as
+// Prometheus text exposition format (the default) or JSON. Equal runs
+// render byte-equal output, so the exposition is diffable.
+func runMetrics(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	archDir := fs.String("archive", "", "experiment archive directory")
+	format := fs.String("format", "prom", "output format: prom (Prometheus text exposition 0.0.4) or json")
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: bulletctl metrics -archive DIR [-format prom|json] RUN_ID")
+		return 2
+	}
+	if *format != "prom" && *format != "json" {
+		fmt.Fprintf(stderr, "bulletctl metrics: unknown format %q (prom or json)\n", *format)
+		return 2
+	}
+	arch, code := openArchiveArg(*archDir, stderr)
+	if code >= 0 {
+		return code
+	}
+	runs, code := selectRuns(arch, "id="+fs.Arg(0), stderr)
+	if code >= 0 {
+		return code
+	}
+	if len(runs) == 0 {
+		fmt.Fprintf(stderr, "bulletctl: no run matches id %q\n", fs.Arg(0))
+		return 1
+	}
+	if len(runs) > 1 {
+		fmt.Fprintf(stderr, "bulletctl: id prefix %q is ambiguous (%d runs)\n", fs.Arg(0), len(runs))
+		return 1
+	}
+	reg := lab.Metrics(runs[0])
+	var err error
+	if *format == "json" {
+		err = reg.RenderJSON(stdout)
+	} else {
+		err = reg.RenderPrometheus(stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
+	}
+	return 0
+}
+
+// runTrace implements the trace subcommand: run one experiment with
+// structured event tracing enabled and export the recorded spans. The
+// export goes to -o (or stdout), the per-kind span counts to stderr, so
+// `bulletctl trace ... > run.trace` always yields a loadable file.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 30, "overlay size including the source")
+		fileMB   = fs.Float64("filemb", 10, "file size in MB")
+		protocol = fs.String("protocol", "bulletprime", "protocol (any registered)")
+		network  = fs.String("network", "modelnet", "network preset (any registered)")
+		seed     = fs.Int64("seed", 1, "master random seed")
+		deadline = fs.Float64("deadline", 3600, "virtual-time deadline in seconds")
+		engine   = fs.String("engine", "sequential", "execution engine: sequential or sharded")
+		shards   = fs.Int("shards", 0, "shard count for -engine sharded (0 = default)")
+		capac    = fs.Int("capacity", 0, "span ring bound (0 = default 16384; oldest spans evicted beyond it)")
+		format   = fs.String("format", "chrome", "export format: chrome (trace_event JSON for chrome://tracing) or jsonl")
+		outFile  = fs.String("o", "", "write the trace to this file instead of stdout")
+	)
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bulletctl trace: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *format != "chrome" && *format != "jsonl" {
+		fmt.Fprintf(stderr, "bulletctl trace: unknown format %q (chrome or jsonl)\n", *format)
+		return 2
+	}
+	mode, ok := parseEngine(*engine, stderr)
+	if !ok {
+		return 2
+	}
+
+	start := time.Now()
+	exp, err := bulletprime.New(bulletprime.RunConfig{
+		Protocol:  bulletprime.Protocol(*protocol),
+		Nodes:     *nodes,
+		FileBytes: *fileMB * 1e6,
+		Network:   bulletprime.NetworkPreset(*network),
+		Seed:      *seed,
+		Deadline:  *deadline,
+		Engine:    mode,
+		Shards:    *shards,
+		Trace:     &bulletprime.TraceOptions{Capacity: *capac},
+		// Tracing needs no time-series.
+		SampleEvery: -1,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	res, err := exp.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
+	}
+	rep := res.Trace
+	if rep == nil {
+		fmt.Fprintln(stderr, "bulletctl: traced run returned no trace report")
+		return 1
+	}
+
+	// Report order is the deterministic merge order; carry it as Seq.
+	spans := make([]obs.Span, len(rep.Spans))
+	for i, s := range rep.Spans {
+		spans[i] = obs.Span{At: s.At, Kind: s.Kind, Node: s.Node, Peer: s.Peer, Note: s.Note, Seq: uint64(i)}
+	}
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bulletctl:", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if *format == "jsonl" {
+		err = obs.WriteJSONL(out, spans)
+	} else {
+		err = obs.WriteChromeTrace(out, spans)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "bulletctl:", err)
+		return 1
+	}
+	if *outFile != "" {
+		fmt.Fprintf(stderr, "wrote %s (%d spans)\n", *outFile, len(spans))
+	}
+	counts := make(map[string]uint64, len(rep.Counts))
+	for k, n := range rep.Counts {
+		counts[k] = uint64(n)
+	}
+	obs.FormatCounts(stderr, counts)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(stderr, "%d span(s) evicted from the ring (raise -capacity to keep more)\n", rep.Dropped)
+	}
+	if res.Cancelled {
+		fmt.Fprintln(stderr, "bulletctl: run cancelled; trace above is partial")
+		return 1
+	}
+	fmt.Fprintf(stderr, "[trace, %.1fs wall]\n", time.Since(start).Seconds())
+	return 0
+}
+
+// metricsServer is the live scrape endpoint `run -metrics-addr` starts: an
+// observer drains into an atomic latest-sample slot, and each HTTP request
+// renders that slot on demand — scraping never touches, let alone stalls,
+// the simulation.
+type metricsServer struct {
+	srv     *http.Server
+	ln      net.Listener
+	drained chan struct{}
+}
+
+// serveMetrics subscribes a live observer on exp and serves its most recent
+// sample at /metrics (Prometheus text format) and /metrics.json. Must be
+// called before the run starts; addr may use port 0 to pick a free port —
+// the bound address is reported on stderr.
+func serveMetrics(addr string, exp *bulletprime.Experiment, labels map[string]string, every float64, stderr io.Writer) (*metricsServer, error) {
+	o, err := exp.Subscribe(bulletprime.ObserverConfig{Every: every})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var latest atomic.Pointer[bulletprime.Sample]
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for s := range o.Samples() {
+			s := s
+			latest.Store(&s)
+		}
+	}()
+	registry := func() *obs.Registry {
+		r := &obs.Registry{}
+		if s := latest.Load(); s != nil {
+			lab.SampleMetrics(r, labels, labSample(*s))
+		}
+		return r
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		registry().RenderPrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		registry().RenderJSON(w)
+	})
+	m := &metricsServer{srv: &http.Server{Handler: mux}, ln: ln, drained: drained}
+	go m.srv.Serve(ln)
+	fmt.Fprintf(stderr, "serving live metrics on http://%s/metrics\n", ln.Addr())
+	return m, nil
+}
+
+// addr returns the server's bound address (useful with ":0").
+func (m *metricsServer) addr() string { return m.ln.Addr().String() }
+
+// close stops the HTTP server and waits for the observer drain to finish;
+// call it after the run ends.
+func (m *metricsServer) close() {
+	<-m.drained
+	m.srv.Close()
+}

@@ -9,6 +9,8 @@ import (
 
 	"bulletprime/internal/harness"
 	"bulletprime/internal/netem"
+	"bulletprime/internal/proto"
+	"bulletprime/internal/sim"
 	"bulletprime/internal/trace"
 )
 
@@ -59,6 +61,11 @@ func New(cfg RunConfig) (*Experiment, error) {
 		return nil, err
 	}
 	receivers := norm.Nodes - 1
+	if norm.Engine == EngineSharded {
+		// Sharded workloads have no distinguished source node; every node
+		// pulls the file and completes.
+		receivers = norm.Nodes
+	}
 	if spec.Scenario != nil {
 		// Every flash-crowd wave has its own session source, which never
 		// counts as a receiver.
@@ -83,9 +90,12 @@ type ObserverConfig struct {
 	// the session's SampleEvery and may be finer (which also refines
 	// Result.Series).
 	Every float64
-	// Buffer is the stream's channel capacity (default 64). A consumer
-	// that falls behind loses the oldest buffered samples — the stream
-	// never stalls the simulation.
+	// Buffer is the stream's channel capacity (default 64). The stream
+	// never stalls the simulation: when the buffer is full, the oldest
+	// buffered sample is discarded to make room for the newest
+	// (drop-oldest), and Observer.Dropped counts the losses. A stalled
+	// consumer therefore always finds the most recent Buffer samples when
+	// it resumes, not the most ancient.
 	Buffer int
 	// PerNode includes per-node progress (blocks held, incoming rate,
 	// done) in every streamed sample.
@@ -134,11 +144,8 @@ func (e *Experiment) Subscribe(oc ObserverConfig) (*Observer, error) {
 	if e.started {
 		return nil, fmt.Errorf("bulletprime: Subscribe after Start")
 	}
-	if e.cfg.Engine == EngineSharded {
-		return nil, fmt.Errorf("bulletprime: sharded runs do not support observers (the sampling hooks are built around a single engine)")
-	}
-	if e.cfg.Network == NetworkTestbedUDP {
-		return nil, fmt.Errorf("bulletprime: testbed runs do not support observers (sampling cadences are calibrated against the emulated clock)")
+	if oc.PerNode && e.cfg.Engine == EngineSharded {
+		return nil, fmt.Errorf("bulletprime: sharded runs do not support PerNode observers (per-node meters live on shard-private runtimes)")
 	}
 	if oc.Every < 0 {
 		return nil, fmt.Errorf("bulletprime: observer Every must be >= 0, got %v", oc.Every)
@@ -226,12 +233,19 @@ func (e *Experiment) run(ctx context.Context) {
 	var hooks harness.Hooks
 	if len(e.observers) > 0 || (!e.noSample && e.cfg.SampleEvery > 0) {
 		rec = newRecorder(e)
-		hooks.OnStart = rec.onStart
 		hooks.TickEvery = rec.every
-		hooks.OnTick = rec.tick
-		hooks.Annotate = rec.annotate
-		if rec.perNode {
-			hooks.OnBlock = rec.onBlock
+		if e.cfg.Engine == EngineSharded {
+			// Sharded runs sample at horizon barriers through the sharded
+			// hook pair; the single-engine hooks stay nil.
+			hooks.OnShardStart = rec.onShardStart
+			hooks.OnShardTick = rec.shardTick
+		} else {
+			hooks.OnStart = rec.onStart
+			hooks.OnTick = rec.tick
+			hooks.Annotate = rec.annotate
+			if rec.perNode {
+				hooks.OnBlock = rec.onBlock
+			}
 		}
 	}
 	// The cancellation poll is always installed: Start wraps every caller
@@ -259,14 +273,21 @@ func (e *Experiment) run(ctx context.Context) {
 		close(e.done)
 		return
 	}
-	if rec != nil && rec.rig != nil {
+	if rec != nil && (rec.rig != nil || rec.srig != nil) {
 		// Flush a closing sample so the series covers the tail (or, for a
 		// cancelled run, the stop instant).
 		if n := len(rec.series); n == 0 || rec.series[n-1].Time < res.Elapsed {
-			rec.tick(rec.rig, rec.sys)
+			if rec.srig != nil {
+				rec.shardTick(rec.srig, rec.ssys)
+			} else {
+				rec.tick(rec.rig, rec.sys)
+			}
 		}
 		res.Series = rec.series
 		res.Annotations = rec.annotations
+	}
+	if e.spec.Tracer != nil {
+		res.Trace = traceReport(e.spec.Tracer)
 	}
 	e.res = res
 	// The archive key covers what was actually persisted: a run that kept
@@ -306,6 +327,18 @@ type recorder struct {
 	sys    harness.System
 	meter  *trace.RateMeter
 	blocks []int
+	// gauger is the transport's live-state probe (testbed runs only); it
+	// is called from tick events on the run-loop goroutine, the only place
+	// transport state mutates.
+	gauger proto.Gauger
+
+	// Sharded-run state: the sharded rig/system pair plus one data-rate
+	// meter per shard, installed before the group starts. shardTick merges
+	// them at horizon barriers in ascending slot order, so float sums are
+	// deterministic.
+	srig        *harness.ShardedRig
+	ssys        harness.ShardSystem
+	shardMeters []*trace.RateMeter
 
 	pending     []Annotation
 	annotations []Annotation
@@ -341,11 +374,22 @@ func newRecorder(e *Experiment) *recorder {
 }
 
 // onStart installs the goodput meter on the rig's runtime before the
-// protocol starts.
+// protocol starts, and probes the transport (if any) for live gauges.
 func (rec *recorder) onStart(rig *harness.Rig, sys harness.System) {
 	rec.rig = rig
 	rec.sys = sys
 	rig.RT.DataMeter = rec.meter
+	if g, ok := rig.RT.Transport.(proto.Gauger); ok {
+		rec.gauger = g
+	}
+}
+
+// onShardStart is onStart's sharded counterpart: it stashes the rig/system
+// pair and hangs one data-rate meter on every shard's runtime.
+func (rec *recorder) onShardStart(rig *harness.ShardedRig, sys harness.ShardSystem) {
+	rec.srig = rig
+	rec.ssys = sys
+	rec.shardMeters = rig.InstallMeters(rec.every/4, 16)
 }
 
 // onBlock tracks per-node block counts (novel arrivals only).
@@ -425,17 +469,69 @@ func (rec *recorder) tick(rig *harness.Rig, sys harness.System) {
 		s.RebufferEvents = ls.RebufferEvents
 		s.StreamGoodputBps = ls.GoodputBps
 	}
+	if rec.gauger != nil {
+		g := rec.gauger.Gauges()
+		s.TestbedRTTp50 = g.RTTp50
+		s.TestbedRTTMax = g.RTTMax
+		s.TestbedUnackedBytes = g.UnackedBytes
+		s.TestbedRetransmits = g.Retransmits
+		s.TestbedInjectedDrops = g.InjectedDrops
+	}
+	rec.emit(s)
+}
+
+// shardTick is the sampling clock of a sharded run. It fires at horizon
+// barriers — every shard's clock sits at exactly the same instant, with no
+// worker goroutine active — and merges per-shard counters in ascending
+// slot order, so every float sum is performed in a deterministic order and
+// an observed run's samples are a pure read of state the unobserved run
+// also passes through.
+func (rec *recorder) shardTick(rig *harness.ShardedRig, sys harness.ShardSystem) {
+	var at sim.Time
+	for _, slot := range rig.Slots {
+		// All slot clocks agree at a barrier; max() also covers the final
+		// flush after a cancelled run, where they may not.
+		if t := slot.Eng.Now(); t > at {
+			at = t
+		}
+	}
+	s := Sample{
+		Time:      float64(at),
+		Receivers: rec.receivers,
+	}
+	for _, slot := range rig.Slots {
+		s.Completed += len(slot.Done)
+		s.ControlBytes += slot.RT.ControlBytes
+		s.DataBytes += slot.RT.DataBytes
+	}
+	for _, m := range rec.shardMeters {
+		s.GoodputBps += m.Rate(at, rec.every)
+	}
+	if d, ok := sys.(interface{ DuplicateBlocks() int }); ok {
+		s.DuplicateBlocks = d.DuplicateBlocks()
+	}
+	s.DuplicateBytes = float64(s.DuplicateBlocks) * rec.blockSize
+	s.UsefulBytes = s.DataBytes - s.DuplicateBytes
+	if s.UsefulBytes < 0 {
+		s.UsefulBytes = 0
+	}
+	rec.emit(s)
+}
+
+// emit appends one assembled sample to the series and fans it out to every
+// observer whose cadence is due.
+func (rec *recorder) emit(s Sample) {
 	if rec.recordSeries {
 		rec.series = append(rec.series, s)
 	}
 	var nodes []NodeProgress
 	for _, o := range rec.observers {
-		if now-o.lastEmit < o.every-1e-9 {
+		if s.Time-o.lastEmit < o.every-1e-9 {
 			continue
 		}
-		o.lastEmit = now
+		o.lastEmit = s.Time
 		out := s
-		if o.perNode {
+		if o.perNode && rec.rig != nil {
 			if nodes == nil {
 				nodes = rec.nodeProgress()
 			}

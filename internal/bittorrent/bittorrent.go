@@ -593,6 +593,9 @@ func (p *btPeer) rechoke() {
 		}
 		p.setChoke(bc, !want)
 	}
+	if p.s.rt.Tracer != nil {
+		p.s.rt.Trace("rechoke", p.node.ID, -1, fmt.Sprintf("%d unchoked", unchoked))
+	}
 	p.s.rt.AfterEvent(RechokeInterval, p, evRechoke, nil)
 }
 

@@ -472,6 +472,9 @@ func (p *bPeer) reconcile() {
 			Payload: reconMsg{have: p.store.Bitmap().Clone()},
 		})
 	}
+	if p.s.rt.Tracer != nil {
+		p.s.rt.Trace("reconcile", p.node.ID, -1, fmt.Sprintf("%d senders", len(p.senders)))
+	}
 	p.s.rt.AfterEvent(ReconcilePeriod, p, evReconcile, nil)
 }
 

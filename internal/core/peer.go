@@ -877,6 +877,7 @@ func (p *peer) trimSenders(now sim.Time) {
 		if len(p.senders) <= p.trimFloor() {
 			break
 		}
+		p.s.rt.Trace("trim", p.node.ID, sp.id, "sender")
 		p.dropSender(sp, true)
 	}
 }
@@ -928,6 +929,7 @@ func (p *peer) trimReceivers() {
 		if len(p.receivers) <= p.trimFloor() {
 			break
 		}
+		p.s.rt.Trace("trim", p.node.ID, rp.id, "receiver")
 		p.dropReceiver(rp, true)
 	}
 }
@@ -1014,6 +1016,7 @@ func (p *peer) acquireSenders() {
 		return cands[i].id < cands[j].id
 	})
 	for i := 0; i < len(cands) && need > 0; i++ {
+		p.s.rt.Trace("promote", p.node.ID, cands[i].id, "sender")
 		p.addSender(cands[i].id)
 		need--
 	}

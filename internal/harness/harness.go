@@ -231,6 +231,17 @@ type Hooks struct {
 	// construction; see the Rig fields of the same names.
 	OnBlock  func(node netem.NodeID, blockID, count int)
 	Annotate func(text string)
+	// OnShardStart and OnShardTick are the sharded-engine analogues of
+	// OnStart and OnTick: OnShardStart fires once after the sharded rig and
+	// per-shard systems are built, immediately before the systems start;
+	// OnShardTick fires every TickEvery virtual seconds at a horizon
+	// barrier, when every shard's clock has reached exactly the same
+	// instant — the only moments a cross-shard snapshot is coherent.
+	// Both run on the caller's goroutine while no shard worker is active,
+	// and must only read state. Ignored by the other engines, as OnStart,
+	// OnTick, OnBlock, and Annotate are ignored by the sharded engine.
+	OnShardStart func(*ShardedRig, ShardSystem)
+	OnShardTick  func(*ShardedRig, ShardSystem)
 	// OnResult fires once with the finished RunResult, just before RunSpec
 	// returns — the capture point archival layers use to persist sweep
 	// cells as they finish. Under Sweep the callback runs on the worker
@@ -259,6 +270,7 @@ func RunSpec(s SweepSpec) *RunResult {
 	deadline := s.Deadline
 	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
 	rig := NewRig(topo, s.Seed)
+	rig.RT.Tracer = s.Tracer
 	var stop func() bool
 	if s.Hooks != nil {
 		rig.OnBlock = s.Hooks.OnBlock
@@ -276,6 +288,11 @@ func RunSpec(s SweepSpec) *RunResult {
 			s.Workload.FileBytes = sp.config(s.Workload.BlockSize).ContentBytes()
 		}
 		installStream(rig, sp, s.Workload.BlockSize)
+		if tr := s.Tracer; tr != nil {
+			rig.Stream.Trace = func(at float64, node int, kind, note string) {
+				tr.Record(at, kind, node, -1, note)
+			}
+		}
 	}
 	var sys System
 	if s.Scenario != nil {

@@ -147,8 +147,12 @@ func (n *fillNode) startRound() {
 	if src == n.id {
 		src = netem.NodeID(n.base + (int(src)-n.base+1)%n.size)
 	}
+	if fs.slot.RT.Tracer != nil {
+		fs.slot.RT.Trace("promote", n.id, src, fmt.Sprintf("round %d", n.round))
+	}
 	f := fs.slot.Net.NewFlow(src, n.id)
 	f.Start(size, func() {
+		fs.slot.RT.AddData(fs.slot.Eng.Now(), size)
 		f.Close()
 		n.round++
 		fs.roundDone()

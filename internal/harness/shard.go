@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bulletprime/internal/netem"
+	"bulletprime/internal/obs"
 	"bulletprime/internal/proto"
 	"bulletprime/internal/sim"
 	"bulletprime/internal/trace"
@@ -165,6 +166,19 @@ func NewShardedRig(topo *netem.Topology, seed int64, shards int) *ShardedRig {
 	return rig
 }
 
+// InstallMeters hangs one data-rate meter on every slot's runtime and
+// returns them in slot order; observers sum the per-shard rates at horizon
+// barriers. Call it before the group starts. Meters only receive writes
+// from their own slot's events, so they add no cross-shard coupling.
+func (r *ShardedRig) InstallMeters(bucket float64, buckets int) []*trace.RateMeter {
+	meters := make([]*trace.RateMeter, len(r.Slots))
+	for k, slot := range r.Slots {
+		meters[k] = trace.NewRateMeter(bucket, buckets)
+		slot.RT.DataMeter = meters[k]
+	}
+	return meters
+}
+
 // ShardSystem is the common face of one sharded protocol session. Start
 // seeds initial events on every shard's engine (it runs before the group
 // starts, with all engines at time zero); Complete and DoneAt are read
@@ -231,10 +245,19 @@ func ShardedSystemNames() []string {
 }
 
 // runSpecSharded executes one spec on the sharded engine. The sequential
-// path's scenario programs, rig dynamics, and observation hooks are built
-// around a single engine and are not supported here — sharded systems own
-// their dynamics per shard. Hooks.Stop (polled from shard goroutines) and
-// Hooks.OnResult are honored.
+// path's scenario programs, rig dynamics, and single-engine observation
+// hooks are built around one engine and are not supported here — sharded
+// systems own their dynamics per shard. Hooks.Stop (polled from shard
+// goroutines), Hooks.OnResult, and the sharded observation hooks
+// (OnShardStart, and OnShardTick with TickEvery) are honored.
+//
+// An observed run samples at horizon barriers: instead of one Group.Run to
+// the deadline, the group is stepped Run(t), Run(t+TickEvery), … — between
+// steps every shard clock sits at exactly t, so OnShardTick reads a
+// coherent cross-shard snapshot. Horizon stepping re-partitions the
+// conservative windows but never the event order (the merge key is
+// window-independent), and the stepped run still executes to the full
+// deadline, so an observed run is bit-identical to an unobserved one.
 func runSpecSharded(s SweepSpec) *RunResult {
 	if s.Scenario != nil {
 		panic("harness: sharded runs do not support scenario programs")
@@ -243,22 +266,77 @@ func runSpecSharded(s SweepSpec) *RunResult {
 		panic("harness: sharded runs do not support rig dynamics; sharded systems drive their own per-shard dynamics")
 	}
 	var stop func() bool
+	var onShardStart, onShardTick func(*ShardedRig, ShardSystem)
+	tickEvery := 0.0
 	if s.Hooks != nil {
 		if s.Hooks.OnStart != nil || s.Hooks.OnTick != nil || s.Hooks.OnBlock != nil || s.Hooks.Annotate != nil {
-			panic("harness: sharded runs support only the Stop and OnResult hooks")
+			panic("harness: sharded runs support only the Stop, OnResult, OnShardStart, and OnShardTick hooks")
 		}
 		stop = s.Hooks.Stop
+		onShardStart = s.Hooks.OnShardStart
+		onShardTick = s.Hooks.OnShardTick
+		tickEvery = s.Hooks.TickEvery
 	}
 	topo := s.TopoFn(sim.NewRNG(s.Seed).Stream("topo"))
+	// Only the topology itself knows whether it can shard, and the network
+	// registry is open — so sequential-only networks surface here as an
+	// error result rather than a PlanShards panic deep in the run.
+	if topo.Clusters == nil || topo.CrossLookahead <= 0 {
+		return &RunResult{
+			Label:   s.Label,
+			CDF:     &trace.CDF{},
+			PerNode: map[netem.NodeID]sim.Time{},
+			Err: fmt.Errorf("harness: the sharded engine needs a clustered topology " +
+				"(this network builds no cluster assignment; pick a clustered preset)"),
+		}
+	}
 	rig := NewShardedRig(topo, s.Seed, s.Shards)
+	var shardTracers []*obs.Tracer
+	if s.Tracer != nil {
+		// Each shard records into a private tracer (no cross-shard
+		// synchronization on the hot path); the spans merge into s.Tracer
+		// after the run, ordered by (time, shard, shard-local sequence).
+		shardTracers = make([]*obs.Tracer, len(rig.Slots))
+		for k, slot := range rig.Slots {
+			shardTracers[k] = obs.NewTracer(s.Tracer.Capacity())
+			slot.RT.Tracer = shardTracers[k]
+		}
+	}
 	name := s.systemName()
 	b, ok := LookupShardedSystem(name)
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown sharded system %q (registered: %v)", name, ShardedSystemNames()))
 	}
 	sys := b(ShardBuildCtx{Rig: rig, Workload: s.Workload})
+	if onShardStart != nil {
+		onShardStart(rig, sys)
+	}
 	sys.Start()
-	stopped := rig.Group.Run(s.Deadline, s.Workers, stop)
+	var stopped bool
+	if tickEvery > 0 && onShardTick != nil {
+		// Horizon-stepped run: advance every shard to the next sampling
+		// barrier, snapshot, repeat. No completion early-exit — the
+		// unobserved path below runs to the full deadline too, so EndedAt
+		// (and everything else) matches bit for bit.
+		for t := sim.Time(tickEvery); ; t += sim.Time(tickEvery) {
+			if t > s.Deadline {
+				t = s.Deadline
+			}
+			stopped = rig.Group.Run(t, s.Workers, stop)
+			if stopped {
+				break
+			}
+			onShardTick(rig, sys)
+			if t >= s.Deadline {
+				break
+			}
+		}
+	} else {
+		stopped = rig.Group.Run(s.Deadline, s.Workers, stop)
+	}
+	if s.Tracer != nil {
+		s.Tracer.Absorb(shardTracers...)
+	}
 
 	// Merge per-shard results in shard order, so aggregates that sum
 	// floats are deterministic.

@@ -7,6 +7,7 @@ import (
 
 	"bulletprime/internal/core"
 	"bulletprime/internal/netem"
+	"bulletprime/internal/obs"
 	"bulletprime/internal/scenario"
 	"bulletprime/internal/sim"
 	"bulletprime/internal/trace"
@@ -79,6 +80,14 @@ type SweepSpec struct {
 	// hook closures are per-spec: a spec sharing Hooks across Sweep workers
 	// must make its callbacks goroutine-safe.
 	Hooks *Hooks
+
+	// Tracer, when non-nil, records typed protocol-decision spans (sender
+	// trims and promotions, rechokes, reconcile rounds, stream rebuffers,
+	// testbed retransmits) into its bounded ring. Tracing only reads run
+	// state, so a traced run stays bit-identical to an untraced one. For
+	// sharded runs each shard records into a private tracer and the spans
+	// are merged deterministically into this one after the run.
+	Tracer *obs.Tracer
 }
 
 // systemName resolves the registry name this spec's sessions build under.

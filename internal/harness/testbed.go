@@ -82,6 +82,13 @@ func runSpecTestbed(s SweepSpec) *RunResult {
 	}
 	defer tr.Stop()
 	rig.RT.Transport = tr
+	if s.Tracer != nil {
+		rig.RT.Tracer = s.Tracer
+		// Retransmissions surface as trace spans; the transport invokes the
+		// callback on the run-loop goroutine, so it feeds the same tracer as
+		// the protocol-decision sites with no extra synchronization.
+		tr.Trace = rig.RT.Trace
+	}
 
 	var stop func() bool
 	if s.Hooks != nil {

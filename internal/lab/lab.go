@@ -100,6 +100,13 @@ type Sample struct {
 	Rebuffering      int     `json:"rebuffering,omitempty"`
 	RebufferEvents   int     `json:"rebuffer_events,omitempty"`
 	StreamGoodputBps float64 `json:"stream_goodput_bps,omitempty"`
+	// Testbed transport gauges; omitempty for the same hash-stability
+	// reason (only NetworkTestbedUDP runs populate them).
+	TestbedRTTp50        float64 `json:"testbed_rtt_p50,omitempty"`
+	TestbedRTTMax        float64 `json:"testbed_rtt_max,omitempty"`
+	TestbedUnackedBytes  float64 `json:"testbed_unacked_bytes,omitempty"`
+	TestbedRetransmits   int     `json:"testbed_retransmits,omitempty"`
+	TestbedInjectedDrops int     `json:"testbed_injected_drops,omitempty"`
 }
 
 // Annotation is one archived timeline marker (a scenario event firing).

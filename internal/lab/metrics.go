@@ -1,0 +1,85 @@
+package lab
+
+import (
+	"fmt"
+
+	"bulletprime/internal/obs"
+)
+
+// metric name prefix shared by every exported series.
+const metricPrefix = "bullet_"
+
+// RunLabels builds the label set every metric of one archived run carries.
+func RunLabels(meta Meta) map[string]string {
+	return map[string]string{
+		"run":      meta.ID,
+		"protocol": meta.Protocol,
+		"network":  meta.Network,
+		"seed":     fmt.Sprintf("%d", meta.Seed),
+	}
+}
+
+// Metrics renders one archived run as an obs.Registry: run-level outcome
+// gauges, the named completion-time quantiles, and — when the run kept a
+// time-series — the final sample's gauges. Equal runs always render
+// byte-equal output (the registry orders deterministically), so the
+// exposition is diffable and cacheable.
+func Metrics(run *Run) *obs.Registry {
+	r := &obs.Registry{}
+	labels := RunLabels(run.Meta)
+	finished := 0.0
+	if run.Meta.Finished {
+		finished = 1
+	}
+	r.Gauge(metricPrefix+"run_finished", "Whether every receiver completed before the deadline (1) or not (0).", labels, finished)
+	r.Gauge(metricPrefix+"run_elapsed_seconds", "Virtual time at which the run ended.", labels, run.Meta.Elapsed)
+	r.Gauge(metricPrefix+"control_overhead_ratio", "Control bytes as a fraction of all delivered bytes.", labels, run.Meta.ControlOverhead)
+	r.Counter(metricPrefix+"completions_total", "Receivers that finished their download.", labels, float64(run.Meta.Completions))
+	for q, v := range run.Meta.Quantiles {
+		ql := cloneLabels(labels)
+		ql["quantile"] = q
+		r.Gauge(metricPrefix+"completion_seconds", "Completion-time distribution quantiles (seconds).", ql, v)
+	}
+	if n := len(run.Series); n > 0 {
+		SampleMetrics(r, labels, run.Series[n-1])
+	}
+	return r
+}
+
+// SampleMetrics adds one time-series sample's gauges to the registry under
+// the given labels — the shared renderer of archived last-sample export and
+// live scraping of an in-flight run.
+func SampleMetrics(r *obs.Registry, labels map[string]string, s Sample) {
+	r.Gauge(metricPrefix+"sample_time_seconds", "Virtual time of the sample.", labels, s.Time)
+	r.Gauge(metricPrefix+"completed_receivers", "Receivers finished as of the sample.", labels, float64(s.Completed))
+	r.Gauge(metricPrefix+"receivers", "Receivers expected to complete.", labels, float64(s.Receivers))
+	r.Gauge(metricPrefix+"goodput_bytes_per_second", "Aggregate delivered data rate over the last sample window.", labels, s.GoodputBps)
+	r.Counter(metricPrefix+"control_bytes_total", "Cumulative delivered control bytes.", labels, s.ControlBytes)
+	r.Counter(metricPrefix+"data_bytes_total", "Cumulative delivered data bytes.", labels, s.DataBytes)
+	r.Counter(metricPrefix+"duplicate_blocks_total", "Blocks delivered to nodes that already held them.", labels, float64(s.DuplicateBlocks))
+	r.Gauge(metricPrefix+"useful_bytes", "Data bytes net of duplicate waste.", labels, s.UsefulBytes)
+	if s.StreamLagP50 != 0 || s.StreamLagMax != 0 || s.RebufferEvents != 0 || s.StreamGoodputBps != 0 {
+		r.Gauge(metricPrefix+"stream_lag_p50_seconds", "Median viewer lag behind the live edge.", labels, s.StreamLagP50)
+		r.Gauge(metricPrefix+"stream_lag_max_seconds", "Worst viewer lag behind the live edge.", labels, s.StreamLagMax)
+		r.Gauge(metricPrefix+"stream_rebuffering", "Viewers currently stalled mid-playback.", labels, float64(s.Rebuffering))
+		r.Counter(metricPrefix+"stream_rebuffer_events_total", "Cumulative rebuffer events.", labels, float64(s.RebufferEvents))
+		r.Gauge(metricPrefix+"stream_goodput_bytes_per_second", "Aggregate viewer goodput.", labels, s.StreamGoodputBps)
+	}
+	if s.TestbedRTTp50 != 0 || s.TestbedRTTMax != 0 || s.TestbedUnackedBytes != 0 ||
+		s.TestbedRetransmits != 0 || s.TestbedInjectedDrops != 0 {
+		r.Gauge(metricPrefix+"testbed_rtt_p50_seconds", "Median measured per-pair RTT (virtual seconds).", labels, s.TestbedRTTp50)
+		r.Gauge(metricPrefix+"testbed_rtt_max_seconds", "Worst measured per-pair RTT (virtual seconds).", labels, s.TestbedRTTMax)
+		r.Gauge(metricPrefix+"testbed_unacked_bytes", "Bytes sent but not yet acknowledged.", labels, s.TestbedUnackedBytes)
+		r.Counter(metricPrefix+"testbed_retransmits_total", "Frames resent after an RTO expiry.", labels, float64(s.TestbedRetransmits))
+		r.Counter(metricPrefix+"testbed_injected_drops_total", "Transmissions suppressed by injected loss.", labels, float64(s.TestbedInjectedDrops))
+	}
+}
+
+// cloneLabels copies a label set so per-metric additions don't alias.
+func cloneLabels(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}

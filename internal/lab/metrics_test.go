@@ -1,0 +1,114 @@
+package lab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// metricsRun builds a minimal archived run for rendering tests.
+func metricsRun() *Run {
+	return &Run{
+		Meta: Meta{
+			ID:              "deadbeef00112233",
+			Protocol:        "bulletprime",
+			Network:         "modelnet",
+			Seed:            3,
+			Finished:        true,
+			Elapsed:         42.5,
+			ControlOverhead: 0.04,
+			Completions:     9,
+			Quantiles:       map[string]float64{"median": 12.5, "worst": 20},
+		},
+		Series: []Sample{
+			{Time: 5, Completed: 2, Receivers: 9, GoodputBps: 1e6, ControlBytes: 100, DataBytes: 5e6},
+			{Time: 42.5, Completed: 9, Receivers: 9, GoodputBps: 2e6, ControlBytes: 400, DataBytes: 9e6, UsefulBytes: 9e6},
+		},
+	}
+}
+
+// TestMetricsPrometheus checks the archived-run rendering is valid
+// Prometheus text exposition: HELP/TYPE per name, the run's labels on every
+// sample, quantile sub-labels, and the final series sample's gauges.
+func TestMetricsPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Metrics(metricsRun()).RenderPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE bullet_run_finished gauge",
+		`bullet_run_finished{network="modelnet",protocol="bulletprime",run="deadbeef00112233",seed="3"} 1`,
+		"# TYPE bullet_completions_total counter",
+		`quantile="median"`,
+		"bullet_completion_seconds{",
+		// Last-sample gauges.
+		`bullet_completed_receivers{network="modelnet",protocol="bulletprime",run="deadbeef00112233",seed="3"} 9`,
+		`bullet_sample_time_seconds{network="modelnet",protocol="bulletprime",run="deadbeef00112233",seed="3"} 42.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Optional families stay silent when the run never populated them.
+	for _, absent := range []string{"bullet_stream_", "bullet_testbed_"} {
+		if strings.Contains(out, absent) {
+			t.Fatalf("exposition contains %s* for a run without those fields:\n%s", absent, out)
+		}
+	}
+	// Format sanity: every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "bullet_") || !strings.Contains(line, "} ") {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	// Deterministic: equal runs render byte-equal.
+	var again bytes.Buffer
+	if err := Metrics(metricsRun()).RenderPrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("equal runs rendered different expositions")
+	}
+}
+
+// TestSampleMetricsOptionalFamilies checks the stream and testbed gauge
+// families appear exactly when the sample carries them.
+func TestSampleMetricsOptionalFamilies(t *testing.T) {
+	run := metricsRun()
+	run.Series[1].StreamLagP50 = 1.5
+	run.Series[1].TestbedRetransmits = 3
+	var buf bytes.Buffer
+	if err := Metrics(run).RenderPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"bullet_stream_lag_p50_seconds{",
+		"# TYPE bullet_testbed_retransmits_total counter",
+		`bullet_testbed_retransmits_total{network="modelnet",protocol="bulletprime",run="deadbeef00112233",seed="3"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsWithoutSeries(t *testing.T) {
+	run := metricsRun()
+	run.Series = nil
+	var buf bytes.Buffer
+	if err := Metrics(run).RenderPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "bullet_sample_time_seconds") {
+		t.Fatal("series gauges rendered for a run with no recorded series")
+	}
+	if !strings.Contains(out, "bullet_run_elapsed_seconds") {
+		t.Fatal("run-level gauges missing")
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordAndCounts(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(1.0, "trim", 3, 7, "sender")
+	tr.Record(1.5, "trim", 4, -1, "")
+	tr.Record(2.0, "promote", 3, 9, "sender")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if got := tr.Counts(); got["trim"] != 2 || got["promote"] != 1 {
+		t.Fatalf("Counts = %v, want trim=2 promote=1", got)
+	}
+	spans := tr.Spans()
+	for i, s := range spans {
+		if s.Seq != uint64(i) {
+			t.Fatalf("span %d: Seq = %d, want record order", i, s.Seq)
+		}
+	}
+	if spans[0].Kind != "trim" || spans[0].Node != 3 || spans[0].Peer != 7 || spans[0].Note != "sender" {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d on a non-full ring", tr.Dropped())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(float64(i), "tick", i, -1, "")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	// Oldest-first survivors are the last four records.
+	spans := tr.Spans()
+	for i, s := range spans {
+		if s.Node != 6+i {
+			t.Fatalf("span %d is node %d, want %d (drop-oldest)", i, s.Node, 6+i)
+		}
+	}
+	// Eviction never loses a count.
+	if got := tr.Counts()["tick"]; got != 10 {
+		t.Fatalf("Counts[tick] = %d, want 10 (evictions included)", got)
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if got := NewTracer(0).Capacity(); got != DefaultCapacity {
+		t.Fatalf("capacity %d, want DefaultCapacity %d", got, DefaultCapacity)
+	}
+}
+
+// TestAbsorbMergeOrder pins the deterministic cross-shard merge: spans sort
+// by (At, shard index, Seq), ties included, and counts/drops fold in.
+func TestAbsorbMergeOrder(t *testing.T) {
+	s0 := NewTracer(8)
+	s0.Record(2.0, "promote", 0, 1, "")
+	s0.Record(5.0, "trim", 0, 2, "")
+	s1 := NewTracer(8)
+	s1.Record(2.0, "rechoke", 100, -1, "") // same instant as s0's first: shard 0 wins
+	s1.Record(1.0, "promote", 101, 102, "")
+
+	merged := NewTracer(16)
+	merged.Absorb(s0, nil, s1) // nil shards are skipped
+	spans := merged.Spans()
+	wantNodes := []int{101, 0, 100, 0}
+	if len(spans) != len(wantNodes) {
+		t.Fatalf("merged %d spans, want %d", len(spans), len(wantNodes))
+	}
+	for i, s := range spans {
+		if s.Node != wantNodes[i] {
+			t.Fatalf("merge position %d is node %d, want %d", i, s.Node, wantNodes[i])
+		}
+		if s.Seq != uint64(i) {
+			t.Fatalf("merged span %d: Seq = %d, want re-sequenced merge order", i, s.Seq)
+		}
+	}
+	if got := merged.Counts(); got["promote"] != 2 || got["trim"] != 1 || got["rechoke"] != 1 {
+		t.Fatalf("merged counts = %v", got)
+	}
+}
+
+func TestAbsorbFoldsDrops(t *testing.T) {
+	shard := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		shard.Record(float64(i), "tick", i, -1, "")
+	}
+	merged := NewTracer(8)
+	merged.Absorb(shard)
+	if merged.Dropped() != 3 {
+		t.Fatalf("merged Dropped = %d, want the shard's 3", merged.Dropped())
+	}
+	if got := merged.Counts()["tick"]; got != 5 {
+		t.Fatalf("merged Counts[tick] = %d, want 5", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(1.25, "trim", 2, 5, "receiver")
+	tr.Record(2.5, "reconcile", 3, -1, "4 senders")
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if s.At != 1.25 || s.Kind != "trim" || s.Node != 2 || s.Peer != 5 || s.Note != "receiver" {
+		t.Fatalf("round-tripped span = %+v", s)
+	}
+}
+
+// TestWriteChromeTrace checks the export is a loadable trace_event array:
+// thread-scoped instant events, microsecond timestamps, one lane per node.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(1.5, "promote", 7, 9, "sender")
+	tr.Record(3.0, "rechoke", 8, -1, "")
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	ev := events[0]
+	if ev["name"] != "promote" || ev["ph"] != "i" || ev["s"] != "t" {
+		t.Fatalf("event 0 = %v, want a thread-scoped instant event", ev)
+	}
+	if ev["ts"].(float64) != 1.5e6 {
+		t.Fatalf("ts = %v, want virtual seconds in microseconds", ev["ts"])
+	}
+	if ev["tid"].(float64) != 7 {
+		t.Fatalf("tid = %v, want the node id lane", ev["tid"])
+	}
+	args := ev["args"].(map[string]any)
+	if args["peer"].(float64) != 9 || args["note"] != "sender" {
+		t.Fatalf("args = %v", args)
+	}
+	// A peerless, noteless span carries no args at all.
+	if _, ok := events[1]["args"]; ok {
+		t.Fatalf("event 1 carries args %v, want none", events[1]["args"])
+	}
+}
+
+func TestFormatCounts(t *testing.T) {
+	var buf bytes.Buffer
+	FormatCounts(&buf, map[string]uint64{"trim": 4, "promote": 9, "rechoke": 1})
+	want := "promote=9\nrechoke=1\ntrim=4\n"
+	if buf.String() != want {
+		t.Fatalf("FormatCounts = %q, want sorted %q", buf.String(), want)
+	}
+}
+
+// TestRegistryPrometheus pins the text exposition shape: HELP/TYPE headers
+// once per metric name, sorted (name, label set) order, escaped label
+// values.
+func TestRegistryPrometheus(t *testing.T) {
+	r := &Registry{}
+	r.Counter("bullet_data_bytes_total", "Cumulative data bytes.", map[string]string{"seed": "2"}, 1024)
+	r.Gauge("bullet_goodput", "Delivered rate.", map[string]string{"seed": "2"}, 5.5)
+	r.Gauge("bullet_goodput", "Delivered rate.", map[string]string{"seed": "1"}, 3.25)
+	var buf bytes.Buffer
+	if err := r.RenderPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP bullet_data_bytes_total Cumulative data bytes.
+# TYPE bullet_data_bytes_total counter
+bullet_data_bytes_total{seed="2"} 1024
+# HELP bullet_goodput Delivered rate.
+# TYPE bullet_goodput gauge
+bullet_goodput{seed="1"} 3.25
+bullet_goodput{seed="2"} 5.5
+`
+	if buf.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// Equal registries render byte-equal output.
+	var again bytes.Buffer
+	if err := r.RenderPrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-rendering the same registry changed the output")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := labelString(map[string]string{"path": `a\b"c` + "\nd"})
+	want := `{path="a\\b\"c\nd"}`
+	if got != want {
+		t.Fatalf("labelString = %q, want %q", got, want)
+	}
+	if labelString(nil) != "" {
+		t.Fatal("empty label set must render as no braces")
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := &Registry{}
+	r.Gauge("bullet_x", "X.", map[string]string{"seed": "1"}, 2)
+	var buf bytes.Buffer
+	if err := r.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []Metric
+	if err := json.Unmarshal(buf.Bytes(), &metrics); err != nil {
+		t.Fatalf("JSON rendering does not parse: %v", err)
+	}
+	if len(metrics) != 1 || metrics[0].Name != "bullet_x" || metrics[0].Value != 2 || metrics[0].Type != "gauge" {
+		t.Fatalf("metrics = %+v", metrics)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"bulletprime/internal/netem"
+	"bulletprime/internal/obs"
 	"bulletprime/internal/sim"
 	"bulletprime/internal/trace"
 )
@@ -106,6 +107,13 @@ type Runtime struct {
 	// delivery path nothing but a nil check.
 	DataMeter *trace.RateMeter
 
+	// Tracer, when set before the run, records typed protocol-decision
+	// spans (sender trims, promotions, rechokes, reconcile rounds) through
+	// Trace. Tracing only reads state — a traced run is bit-identical to an
+	// untraced one. Nil (the default) costs call sites one nil check; sites
+	// that build note strings must guard on the field themselves.
+	Tracer *obs.Tracer
+
 	// Transport, when set before any node dials, replaces the emulated
 	// network as the message path: connections carry their traffic through
 	// it (real UDP sockets in internal/testbed) instead of netem flows,
@@ -184,6 +192,26 @@ func (rt *Runtime) Node(id netem.NodeID) *Node { return rt.nodes[id] }
 
 // Now returns the current virtual time.
 func (rt *Runtime) Now() sim.Time { return rt.Eng.Now() }
+
+// Trace records one protocol-decision span at the current virtual time; a
+// no-op when no Tracer is installed. Call sites that compute a note string
+// should guard on rt.Tracer != nil to keep the untraced path free.
+func (rt *Runtime) Trace(kind string, node, peer netem.NodeID, note string) {
+	if rt.Tracer != nil {
+		rt.Tracer.Record(float64(rt.Eng.Now()), kind, int(node), int(peer), note)
+	}
+}
+
+// AddData accounts n delivered data bytes at virtual time at, outside the
+// message delivery path — the seam workloads that move bytes as raw netem
+// flows (the sharded scalefill reference workload) use to keep DataBytes
+// and the observer goodput meter truthful.
+func (rt *Runtime) AddData(at sim.Time, n float64) {
+	rt.DataBytes += n
+	if rt.DataMeter != nil {
+		rt.DataMeter.Add(at, n)
+	}
+}
 
 // After schedules fn after d seconds of virtual time.
 func (rt *Runtime) After(d float64, fn func()) sim.EventRef { return rt.Eng.After(d, fn) }

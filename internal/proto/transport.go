@@ -34,6 +34,26 @@ type Transport interface {
 	RTT(a, b netem.NodeID) float64
 }
 
+// TransportGauges is a snapshot of a transport backend's live state,
+// sampled into the observer pipeline each tick: measured per-pair RTTs
+// (median and worst, virtual seconds), bytes sent but not yet acknowledged,
+// and the cumulative retransmit / injected-loss counters.
+type TransportGauges struct {
+	RTTp50        float64
+	RTTMax        float64
+	UnackedBytes  float64
+	Retransmits   int
+	InjectedDrops int
+}
+
+// Gauger is the optional Transport extension observers probe for: backends
+// that can snapshot their link state (internal/testbed) implement it.
+// Gauges must be called on the run-loop goroutine, where all transport
+// state mutation happens.
+type Gauger interface {
+	Gauges() TransportGauges
+}
+
 // dirFrom returns the half sending from the node with the given id, or nil
 // if the id is not an endpoint (a stale frame for a recycled id).
 func (c *Conn) dirFrom(from netem.NodeID) *half {

@@ -186,6 +186,11 @@ type Tracker struct {
 	// Annotate, when set, receives rebuffer/resume event descriptions
 	// (it feeds the run's Annotation stream).
 	Annotate func(text string)
+	// Trace, when set, receives the same rebuffer/resume transitions as
+	// typed events (it feeds the run's structured trace). Drained from
+	// arrival events under the same cursors as Annotate, so traced and
+	// untraced runs stay bit-identical.
+	Trace func(at float64, node int, kind, note string)
 }
 
 // NewTracker builds a tracker for one live-stream run; now supplies the
@@ -254,14 +259,24 @@ func (t *Tracker) OnBlock(node netem.NodeID, blockID int, _ int) {
 		}
 		r.advance(now) // a refill may resume playback
 	}
-	if t.Annotate != nil {
+	if t.Annotate != nil || t.Trace != nil {
 		for r.annRebuf < r.rebuffers {
 			r.annRebuf++
-			t.Annotate(fmt.Sprintf("node %d rebuffering (lag %.2fs)", node, r.lag(now)))
+			if t.Annotate != nil {
+				t.Annotate(fmt.Sprintf("node %d rebuffering (lag %.2fs)", node, r.lag(now)))
+			}
+			if t.Trace != nil {
+				t.Trace(now, int(node), "rebuffer", fmt.Sprintf("lag %.2fs", r.lag(now)))
+			}
 		}
 		for r.annResume < r.resumes {
 			r.annResume++
-			t.Annotate(fmt.Sprintf("node %d resumed playback after %.1fs stalled (playhead %.1fs)", node, r.stallS, r.playhead))
+			if t.Annotate != nil {
+				t.Annotate(fmt.Sprintf("node %d resumed playback after %.1fs stalled (playhead %.1fs)", node, r.stallS, r.playhead))
+			}
+			if t.Trace != nil {
+				t.Trace(now, int(node), "resume", fmt.Sprintf("stalled %.1fs", r.stallS))
+			}
 		}
 	}
 }

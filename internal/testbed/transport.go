@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -121,6 +122,12 @@ type Transport struct {
 	// with per-protocol payload codecs (DESIGN.md §10).
 	payloads  map[uint64]any
 	nextToken uint64
+
+	// Trace, when set, receives one call per retransmission (the
+	// wire-level protocol decision observers care about); invoked on the
+	// run-loop goroutine from Tick, after the engine clock advanced to the
+	// wall-mapped virtual now.
+	Trace func(kind string, src, dst netem.NodeID, note string)
 
 	drop  *rand.Rand
 	stats Stats
@@ -253,6 +260,31 @@ func (t *Transport) RTT(a, b netem.NodeID) float64 {
 	return t.clock.Virtual(t.cfg.RTO)
 }
 
+// Gauges implements proto.Gauger: a snapshot of the live link state for the
+// observer pipeline. Call it on the run-loop goroutine, like every other
+// state accessor.
+func (t *Transport) Gauges() proto.TransportGauges {
+	g := proto.TransportGauges{
+		Retransmits:   t.stats.Retransmits,
+		InjectedDrops: t.stats.InjectedDrops,
+	}
+	var rtts []float64
+	for _, l := range t.links {
+		for _, p := range l.pending {
+			g.UnackedBytes += p.size
+		}
+		if l.srtt > 0 {
+			rtts = append(rtts, t.clock.Virtual(l.srtt))
+		}
+	}
+	if len(rtts) > 0 {
+		sort.Float64s(rtts)
+		g.RTTp50 = rtts[len(rtts)/2]
+		g.RTTMax = rtts[len(rtts)-1]
+	}
+	return g
+}
+
 // sendEnvelope frames one envelope onto the pair's reliable link and
 // transmits it, leaving a pending entry for the retransmission loop.
 func (t *Transport) sendEnvelope(from, to netem.NodeID, env wire.Msg, c *proto.Conn, size float64) {
@@ -311,6 +343,9 @@ func (t *Transport) Tick(now time.Time) {
 			p.backoff *= 2
 			p.retryAt = now.Add(p.backoff)
 			t.stats.Retransmits++
+			if t.Trace != nil {
+				t.Trace("retransmit", k.src, k.dst, fmt.Sprintf("seq %d retry %d", p.seq, p.retries))
+			}
 			t.transmit(k.src, k.dst, p.frame)
 		}
 	}

@@ -1,0 +1,269 @@
+package bulletprime_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bulletprime"
+)
+
+// TestObserverDropOldestStalledReader pins the slow-consumer policy: a
+// consumer that never reads while the run executes must not stall the
+// simulation, and when it finally drains it finds the most recent Buffer
+// samples — drop-oldest, with Dropped() counting the losses.
+func TestObserverDropOldestStalledReader(t *testing.T) {
+	exp, err := bulletprime.New(bulletprime.RunConfig{
+		Nodes:       10,
+		FileBytes:   1e6,
+		Seed:        3,
+		Deadline:    3600,
+		SampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 1, Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No consumer runs until the experiment is over: the reader is stalled
+	// for the entire run.
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []bulletprime.Sample
+	for s := range o.Samples() {
+		kept = append(kept, s)
+	}
+	if len(kept) != 4 {
+		t.Fatalf("stalled reader drained %d samples, want exactly the Buffer 4", len(kept))
+	}
+	if o.Dropped() == 0 {
+		t.Fatal("Dropped() = 0 after overrunning a 4-sample buffer")
+	}
+	// Drop-oldest retains the newest window: the drained head is well past
+	// the run's first sample, and the drained tail sits within one cadence
+	// of the series tail (the closing flush itself is below the observer's
+	// cadence gate, so the last on-cadence sample is the newest emitted).
+	tail := res.Series[len(res.Series)-1]
+	if kept[0].Time <= res.Series[0].Time {
+		t.Fatalf("first drained sample t=%.2f: the oldest samples were not the ones dropped", kept[0].Time)
+	}
+	if kept[3].Time < tail.Time-1 {
+		t.Fatalf("last drained sample t=%.2f is stale (series tail t=%.2f): newest samples were dropped",
+			kept[3].Time, tail.Time)
+	}
+	for i := 1; i < len(kept); i++ {
+		if kept[i].Time <= kept[i-1].Time {
+			t.Fatalf("drained samples out of order: %.2f after %.2f", kept[i].Time, kept[i-1].Time)
+		}
+	}
+}
+
+// TestObserverCtxCancelTeardown cancels a run mid-flight and checks
+// observer teardown: every Samples() channel closes exactly once (a double
+// close would panic here) and the session still reports its partial result.
+// The CI race job runs the whole test file under -race, which would flag a
+// send-on-closed or close-vs-send race in the teardown path.
+func TestObserverCtxCancelTeardown(t *testing.T) {
+	exp, err := bulletprime.New(bulletprime.RunConfig{
+		Nodes:     60,
+		FileBytes: 20e6,
+		Seed:      5,
+		Deadline:  3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two observers, so teardown closes more than one stream.
+	first, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drained := make(chan int, 2)
+	go func() {
+		n := 0
+		for range first.Samples() {
+			if n == 0 {
+				cancel() // first sample: the run is mid-flight, stop it
+			}
+			n++
+		}
+		drained <- n
+	}()
+	go func() {
+		n := 0
+		for range second.Samples() {
+			n++
+		}
+		drained <- n
+	}()
+	res, err := exp.Run(ctx)
+	if err != nil && res == nil {
+		t.Fatal(err)
+	}
+	<-drained
+	<-drained // both ranges ended: both channels closed
+	if !res.Cancelled {
+		t.Fatal("mid-run cancel did not mark the result cancelled")
+	}
+	if len(res.CompletionTimes) == 59 {
+		t.Fatal("cancelled run reports a full completion set; cancel landed after the end")
+	}
+}
+
+// TestTestbedObserverGauges streams samples from a real-socket loopback run
+// and checks the transport gauges ride along: measured RTT, and — with
+// injected loss — retransmit and drop counters.
+func TestTestbedObserverGauges(t *testing.T) {
+	cfg := testbedCfg()
+	cfg.Testbed.DropProb = 0.05
+	cfg.Testbed.DropSeed = 9
+	cfg.SampleEvery = 5
+	exp, err := bulletprime.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 5})
+	if err != nil {
+		t.Fatalf("Subscribe on a testbed session: %v", err)
+	}
+	var streamed []bulletprime.Sample
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range o.Samples() {
+			streamed = append(streamed, s)
+		}
+	}()
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if !res.Finished {
+		t.Fatal("observed testbed run did not finish")
+	}
+	if len(streamed) == 0 {
+		t.Fatal("testbed observer received no samples")
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("observed testbed run recorded no time-series")
+	}
+	sawRTT := false
+	for _, s := range res.Series {
+		if s.TestbedRTTp50 > 0 {
+			sawRTT = true
+			if s.TestbedRTTMax < s.TestbedRTTp50 {
+				t.Fatalf("RTT max %.4f below p50 %.4f", s.TestbedRTTMax, s.TestbedRTTp50)
+			}
+		}
+	}
+	if !sawRTT {
+		t.Fatal("no sample carried a measured RTT")
+	}
+	tail := res.Series[len(res.Series)-1]
+	if tail.TestbedInjectedDrops == 0 {
+		t.Fatal("5% injected loss produced no InjectedDrops gauge")
+	}
+	if tail.TestbedRetransmits == 0 {
+		t.Fatal("injected loss produced no retransmissions")
+	}
+	if tail.DataBytes <= 0 {
+		t.Fatalf("final sample DataBytes = %v, want real delivered bytes", tail.DataBytes)
+	}
+}
+
+// TestTraceReportSequential runs one traced session and checks the report
+// shape — and that tracing is observation only: the traced run's results
+// are bit-identical to the untraced run of the same config.
+func TestTraceReportSequential(t *testing.T) {
+	cfg := bulletprime.RunConfig{
+		Nodes:     10,
+		FileBytes: 1e6,
+		Seed:      3,
+		Deadline:  3600,
+	}
+	untraced, err := bulletprime.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if untraced.Trace != nil {
+		t.Fatal("untraced run carries a trace report")
+	}
+
+	traced := cfg
+	traced.Trace = &bulletprime.TraceOptions{}
+	res, err := bulletprime.Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Trace
+	if rep == nil {
+		t.Fatal("traced run returned no trace report")
+	}
+	if len(rep.Spans) == 0 || rep.Counts["promote"] == 0 {
+		t.Fatalf("trace: %d spans, counts %v; want promote spans", len(rep.Spans), rep.Counts)
+	}
+	last := -1.0
+	for _, s := range rep.Spans {
+		if s.At < last {
+			t.Fatalf("spans out of time order: %.4f after %.4f", s.At, last)
+		}
+		last = s.At
+	}
+	for id, at := range untraced.CompletionTimes {
+		if bt := res.CompletionTimes[id]; bt != at {
+			t.Fatalf("node %d: traced %v vs untraced %v (tracing steered the run)", id, bt, at)
+		}
+	}
+	if res.Elapsed != untraced.Elapsed {
+		t.Fatalf("Elapsed differs traced vs untraced: %v vs %v", res.Elapsed, untraced.Elapsed)
+	}
+}
+
+// TestTraceShardedDeterministic pins the cross-shard trace merge: the span
+// sequence of a traced sharded run is a pure function of (seed, shards),
+// identical between the serial oracle and parallel workers.
+func TestTraceShardedDeterministic(t *testing.T) {
+	run := func(workers int) *bulletprime.TraceReport {
+		cfg := shardedCfg(11, workers)
+		cfg.Trace = &bulletprime.TraceOptions{}
+		res, err := bulletprime.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil || len(res.Trace.Spans) == 0 {
+			t.Fatal("traced sharded run returned no spans")
+		}
+		return res.Trace
+	}
+	serial, parallel := run(1), run(0)
+	if len(serial.Spans) != len(parallel.Spans) {
+		t.Fatalf("span counts differ: serial %d vs parallel %d", len(serial.Spans), len(parallel.Spans))
+	}
+	for i := range serial.Spans {
+		if serial.Spans[i] != parallel.Spans[i] {
+			t.Fatalf("span %d differs: serial %+v vs parallel %+v (merge not deterministic)",
+				i, serial.Spans[i], parallel.Spans[i])
+		}
+	}
+	if serial.Dropped != parallel.Dropped {
+		t.Fatalf("Dropped differs: %d vs %d", serial.Dropped, parallel.Dropped)
+	}
+}
+
+func TestTraceOptionValidation(t *testing.T) {
+	cfg := bulletprime.RunConfig{Nodes: 10, FileBytes: 1e6, Trace: &bulletprime.TraceOptions{Capacity: -1}}
+	if _, err := bulletprime.New(cfg); err == nil || !strings.Contains(err.Error(), "Trace") {
+		t.Fatalf("negative trace capacity: error %v, want a Trace validation error", err)
+	}
+}

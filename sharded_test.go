@@ -107,12 +107,89 @@ func TestShardedConfigValidation(t *testing.T) {
 	}
 }
 
-func TestShardedSubscribeRejected(t *testing.T) {
+// TestShardedObserverEquivalence pins the sharded observability contract at
+// Scale1000: an observed sharded session — time-series sampling on, an
+// observer subscribed — must return results bit-identical to the unobserved
+// one-shot wrapper, because horizon-stepped sampling re-partitions the
+// conservative windows without reordering any event. The CI race job runs
+// this test by name.
+func TestShardedObserverEquivalence(t *testing.T) {
+	cfg := shardedCfg(5, 0)
+	cfg.Nodes = 1000
+	cfg.Deadline = 120
+
+	oracle, err := bulletprime.Run(cfg) // unobserved, single Group.Run
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsCfg := cfg
+	obsCfg.SampleEvery = 2
+	exp, err := bulletprime.New(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := exp.Subscribe(bulletprime.ObserverConfig{Every: 2})
+	if err != nil {
+		t.Fatalf("Subscribe on a sharded session: %v", err)
+	}
+	var streamed int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range o.Samples() {
+			streamed++
+		}
+	}()
+	observed, err := exp.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if streamed == 0 {
+		t.Fatal("observer received no samples from the sharded run")
+	}
+	if len(observed.Series) == 0 {
+		t.Fatal("observed sharded run recorded no time-series")
+	}
+	if !observed.Finished {
+		t.Fatal("observed sharded run did not finish")
+	}
+	if len(observed.CompletionTimes) != len(oracle.CompletionTimes) {
+		t.Fatalf("completion counts differ: observed %d vs oracle %d",
+			len(observed.CompletionTimes), len(oracle.CompletionTimes))
+	}
+	for id, at := range oracle.CompletionTimes {
+		if bt := observed.CompletionTimes[id]; bt != at {
+			t.Fatalf("node %d: observed %v vs oracle %v (not bit-identical)", id, bt, at)
+		}
+	}
+	if observed.Elapsed != oracle.Elapsed {
+		t.Fatalf("Elapsed differs: observed %v vs oracle %v", observed.Elapsed, oracle.Elapsed)
+	}
+	// Merged shard samples must be monotone in time and account real bytes.
+	last := -1.0
+	for _, s := range observed.Series {
+		if s.Time <= last {
+			t.Fatalf("series not strictly time-ordered: %v after %v", s.Time, last)
+		}
+		last = s.Time
+	}
+	if tail := observed.Series[len(observed.Series)-1]; tail.Completed != 1000 || tail.DataBytes <= 0 {
+		t.Fatalf("final sample: completed=%d dataBytes=%v, want 1000 and > 0", tail.Completed, tail.DataBytes)
+	}
+}
+
+// Per-node progress meters live on shard-private runtimes; the PerNode
+// observer option stays sequential-only.
+func TestShardedPerNodeObserverRejected(t *testing.T) {
 	exp, err := bulletprime.New(shardedCfg(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := exp.Subscribe(bulletprime.ObserverConfig{}); err == nil {
-		t.Fatal("Subscribe on a sharded session did not error")
+	if _, err := exp.Subscribe(bulletprime.ObserverConfig{PerNode: true}); err == nil ||
+		!strings.Contains(err.Error(), "PerNode") {
+		t.Fatalf("PerNode Subscribe on a sharded session: error %v, want PerNode rejection", err)
 	}
 }

@@ -29,7 +29,7 @@ func TestTestbedRunCompletes(t *testing.T) {
 		t.Fatalf("testbed run incomplete: finished=%v, %d/7 receivers", res.Finished, len(res.CompletionTimes))
 	}
 	if res.Series != nil {
-		t.Fatal("testbed run recorded a time-series; SampleEvery must be forced off")
+		t.Fatal("one-shot testbed run recorded a time-series; the Run wrapper must not sample")
 	}
 }
 
@@ -66,15 +66,6 @@ func TestTestbedCombinationValidation(t *testing.T) {
 		cfg.DynamicBandwidth = true
 		_, err := bulletprime.Run(cfg)
 		check(t, err, "DynamicBandwidth")
-	})
-
-	t.Run("observers", func(t *testing.T) {
-		exp, err := bulletprime.New(testbedCfg())
-		if err != nil {
-			t.Fatal(err)
-		}
-		_, err = exp.Subscribe(bulletprime.ObserverConfig{Every: 1})
-		check(t, err, "observers")
 	})
 
 	t.Run("sweep", func(t *testing.T) {
