@@ -308,6 +308,9 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	metric := fs.String("metric", "median", "gated metric for -write: best, median, worst, mean, or pNN")
 	tol := fs.Float64("tol", 0.15, "fractional tolerance for -write, e.g. 0.15 = +15%")
 	write := fs.Bool("write", false, "capture the current archive as the new baseline and exit")
+	stats := fs.Bool("stats", false, "with -write: also record per-run samples and arm the statistical gate")
+	alpha := fs.Float64("alpha", 0.05, "with -write -stats: one-sided significance level for the rank test")
+	minReps := fs.Int("minreps", 4, "with -write -stats: minimum per-side repetitions before the rank test applies")
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
@@ -328,6 +331,10 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 		return code
 	}
 
+	if !*write && (*stats || explicitFlag(fs, "alpha") || explicitFlag(fs, "minreps")) {
+		fmt.Fprintln(stderr, "bulletctl gate: -stats/-alpha/-minreps require -write")
+		return 2
+	}
 	if *write {
 		base, err := lab.BaselineFrom(runs, *metric, *tol)
 		if err != nil {
@@ -338,12 +345,23 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "bulletctl: refusing to write an empty baseline (no completed runs)")
 			return 1
 		}
+		if *stats {
+			cfg := lab.StatsConfig{Alpha: *alpha, MinReps: *minReps}
+			if err := base.CaptureStats(runs, cfg); err != nil {
+				fmt.Fprintln(stderr, "bulletctl:", err)
+				return 1
+			}
+		}
 		if err := base.Save(*baseFile); err != nil {
 			fmt.Fprintln(stderr, "bulletctl:", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s: metric %s, tolerance %g, %d group(s)\n",
 			*baseFile, base.Metric, base.Tolerance, len(base.Entries))
+		if base.Stats != nil {
+			fmt.Fprintf(stdout, "statistical gate armed: alpha %g, min reps %d, %d group(s) with samples\n",
+				base.Stats.Alpha, base.Stats.MinReps, len(base.Samples))
+		}
 		return 0
 	}
 
@@ -358,4 +376,16 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// explicitFlag reports whether the user set the named flag on the command
+// line (as opposed to it holding its default).
+func explicitFlag(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

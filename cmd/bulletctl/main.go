@@ -20,7 +20,13 @@
 //	bulletctl show -archive bench/ 1a2b3c4d
 //	bulletctl compare -archive bench/ -a protocol=bulletprime -b protocol=bittorrent
 //	bulletctl report -archive bench/ -o REPORT.md
+//	bulletctl sweep -seeds 4 -reps 5 -protocols bulletprime -archive bench/
 //	bulletctl gate -archive bench/ -baseline BENCH_BASELINE.json
+//	bulletctl gate -archive bench/ -baseline BENCH_BASELINE.json -write -stats -alpha 0.05
+//	bulletctl farm coordinate -archive bench/ -addr 127.0.0.1:8844 -seeds 2 -reps 3
+//	bulletctl farm work -coordinator http://127.0.0.1:8844 -archive bench/
+//	bulletctl farm status -coordinator http://127.0.0.1:8844
+//	bulletctl farm resume -archive bench/ -addr 127.0.0.1:8844 -seeds 2 -reps 3
 //	go test -run '^$' -bench ... -benchmem ./... | bulletctl perfgate -baseline BENCH_PERF.json
 //	bulletctl run -nodes 100 -engine sharded -network clustered -protocol scalefill -metrics-addr :9100
 //	bulletctl metrics -archive bench/ -format prom 1a2b3c4d
@@ -67,6 +73,7 @@ var subcommands = map[string]func(args []string, stdout, stderr io.Writer) int{
 	"ls":         runLs,
 	"show":       runShow,
 	"compare":    runCompare,
+	"farm":       runFarm,
 	"report":     runReport,
 	"gate":       runGate,
 	"perfgate":   runPerfGate,
@@ -619,6 +626,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		nodes     = fs.Int("nodes", 100, "overlay size including the source")
 		fileMB    = fs.Float64("filemb", 10, "file size in MB")
 		seeds     = fs.Int("seeds", 4, "number of seeds (1..n)")
+		reps      = fs.Int("reps", 1, "repetitions per cell with derived seeds (feeds the statistical gate)")
 		protocols = fs.String("protocols", "bulletprime", "comma-separated protocols (any registered)")
 		networks  = fs.String("networks", "modelnet", "comma-separated network presets (any registered)")
 		dynamic   = fs.Bool("dynamic", false, "enable the synthetic bandwidth-change process")
@@ -654,6 +662,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := bulletprime.SweepConfig{
+		Reps: *reps,
 		Base: bulletprime.RunConfig{
 			Nodes:            *nodes,
 			FileBytes:        *fileMB * 1e6,

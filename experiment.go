@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"bulletprime/internal/harness"
+	"bulletprime/internal/lab"
 	"bulletprime/internal/netem"
 	"bulletprime/internal/proto"
 	"bulletprime/internal/sim"
@@ -551,6 +552,13 @@ type SweepConfig struct {
 	Seeds     []int64
 	Protocols []Protocol
 	Networks  []NetworkPreset
+
+	// Reps runs every cell Reps times with RepSeed-derived master seeds
+	// (repetition 0 keeps the listed seed verbatim, so Reps <= 1 is the
+	// classic single-repetition sweep). Repetitions are the raw material
+	// of the statistical gate: per-repetition medians feed bootstrap
+	// confidence intervals and the Mann-Whitney significance test.
+	Reps int
 }
 
 // SweepCell identifies one cell of a sweep's cross product before it runs.
@@ -561,6 +569,10 @@ type SweepCell struct {
 	Protocol Protocol
 	Network  NetworkPreset
 	Seed     int64
+	// Rep is the cell's repetition index; the cell actually runs with
+	// the RepSeed-derived seed (Seed stays the listed base seed so cells
+	// of one repetition group can be grouped by it).
+	Rep int
 }
 
 // SweepRun is one completed cell of a sweep.
@@ -568,6 +580,9 @@ type SweepRun struct {
 	Protocol Protocol
 	Network  NetworkPreset
 	Seed     int64
+	// Rep is the cell's repetition index (always 0 when SweepConfig.Reps
+	// was <= 1).
+	Rep int
 	// Index is the cell's position in the sweep's deterministic order.
 	Index  int
 	Result *Result
@@ -598,17 +613,23 @@ func expandSweep(cfg SweepConfig) ([]SweepCell, []RunConfig, error) {
 	if len(networks) == 0 {
 		networks = []NetworkPreset{base.Network}
 	}
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
 	var cells []SweepCell
 	var cfgs []RunConfig
 	for _, p := range protocols {
 		for _, nw := range networks {
 			for _, seed := range seeds {
-				rc := base
-				rc.Protocol = p
-				rc.Network = nw
-				rc.Seed = seed
-				cells = append(cells, SweepCell{Index: len(cells), Protocol: p, Network: nw, Seed: seed})
-				cfgs = append(cfgs, rc)
+				for rep := 0; rep < reps; rep++ {
+					rc := base
+					rc.Protocol = p
+					rc.Network = nw
+					rc.Seed = lab.RepSeed(seed, rep)
+					cells = append(cells, SweepCell{Index: len(cells), Protocol: p, Network: nw, Seed: seed, Rep: rep})
+					cfgs = append(cfgs, rc)
+				}
 			}
 		}
 	}
@@ -708,6 +729,7 @@ func sweepStream(ctx context.Context, cfg SweepConfig, observe func(SweepCell, *
 						Protocol: cells[i].Protocol,
 						Network:  cells[i].Network,
 						Seed:     cells[i].Seed,
+						Rep:      cells[i].Rep,
 						Index:    i,
 						Result:   res,
 						RunID:    runID,

@@ -559,3 +559,49 @@ func TestScenarioAnnotationsObserved(t *testing.T) {
 		t.Fatal("no flash-crowd wave annotation")
 	}
 }
+
+// TestSweepReps pins the repetition fan-out through the facade: Reps
+// multiplies the cross product with RepSeed-derived seeds, repetition 0
+// is bit-identical to the unrepeated sweep, and higher repetitions are
+// genuinely different runs.
+func TestSweepReps(t *testing.T) {
+	base := bulletprime.SweepConfig{
+		Base:  bulletprime.RunConfig{Nodes: 10, FileBytes: 1 << 20, Parallel: 2},
+		Seeds: []int64{1},
+	}
+	plain, err := bulletprime.Sweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 {
+		t.Fatalf("unrepeated sweep: %d cells", len(plain))
+	}
+
+	repped := base
+	repped.Reps = 3
+	runs, err := bulletprime.Sweep(repped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("reps=3 sweep: %d cells, want 3", len(runs))
+	}
+	for i, r := range runs {
+		if r.Rep != i || r.Seed != 1 {
+			t.Fatalf("cell %d: rep %d seed %d, want rep %d seed 1 (base seed, not derived)", i, r.Rep, r.Seed, i)
+		}
+	}
+	// Repetition 0 is the unrepeated run, bit for bit.
+	if len(runs[0].Result.CompletionTimes) != len(plain[0].Result.CompletionTimes) {
+		t.Fatal("rep 0 completion count differs from the unrepeated sweep")
+	}
+	for id, at := range plain[0].Result.CompletionTimes {
+		if runs[0].Result.CompletionTimes[id] != at {
+			t.Fatalf("rep 0 node %d: %v vs unrepeated %v", id, runs[0].Result.CompletionTimes[id], at)
+		}
+	}
+	// Higher repetitions ran under different derived seeds.
+	if runs[1].Result.Median() == runs[0].Result.Median() && runs[2].Result.Median() == runs[0].Result.Median() {
+		t.Fatal("every repetition produced identical medians; derived seeds not applied")
+	}
+}

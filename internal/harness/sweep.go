@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"bulletprime/internal/core"
+	"bulletprime/internal/lab"
 	"bulletprime/internal/netem"
 	"bulletprime/internal/obs"
 	"bulletprime/internal/scenario"
@@ -133,6 +135,33 @@ func Sweep(specs []SweepSpec, parallel int) []*RunResult {
 	}
 	wg.Wait()
 	return results
+}
+
+// ExpandReps fans each spec out into reps repetitions with
+// lab.RepSeed-derived master seeds, in spec-major order (all repetitions
+// of spec 0, then spec 1, …). Repetition 0 keeps the spec verbatim, so
+// ExpandReps(specs, 1) is the identity; higher repetitions get "#repN"
+// appended to non-empty labels. Everything else about a repetition —
+// topology builder, scenario program, hooks — is shared by value, which
+// is safe for the same reason sweeps already fan one compiled scenario
+// across seeds: specs only carry immutable inputs plus per-rig state
+// derived from the seed. reps <= 1 returns specs unchanged.
+func ExpandReps(specs []SweepSpec, reps int) []SweepSpec {
+	if reps <= 1 {
+		return specs
+	}
+	out := make([]SweepSpec, 0, len(specs)*reps)
+	for _, s := range specs {
+		for r := 0; r < reps; r++ {
+			rs := s
+			rs.Seed = lab.RepSeed(s.Seed, r)
+			if r > 0 && rs.Label != "" {
+				rs.Label = fmt.Sprintf("%s#rep%d", s.Label, r)
+			}
+			out = append(out, rs)
+		}
+	}
+	return out
 }
 
 // AggregateCDF merges the completion-time CDFs of every result into one,

@@ -57,6 +57,57 @@ func (a *Archive) SetVersion(v string) {
 
 func (a *Archive) runsDir() string         { return filepath.Join(a.root, "runs") }
 func (a *Archive) runDir(id string) string { return filepath.Join(a.runsDir(), id) }
+func (a *Archive) lockPath(id string) string {
+	return filepath.Join(a.runsDir(), ".lock-"+id)
+}
+
+// staleLockAge is how old an orphaned lockfile must be before another
+// writer may break it: long enough that no live Put holds a lock that
+// long (the critical section is two small file writes and a rename),
+// short enough that a crashed farm worker doesn't wedge its cell's id
+// until a human intervenes.
+const staleLockAge = 30 * time.Second
+
+// lockWait bounds how long Put spins waiting for a contended lock before
+// giving up; concurrent writers of the SAME id finish in milliseconds,
+// so hitting this means something is genuinely wrong.
+const lockWait = time.Minute
+
+// lockRun takes the cross-process per-id commit lock: an O_CREAT|O_EXCL
+// lockfile next to runs/<id>. The in-process Archive mutex cannot guard
+// against a second *process* (farm workers sharing one archive
+// directory over a filesystem), so the exclusive-create syscall is the
+// arbiter: exactly one writer per id wins; losers poll until the lock
+// clears — normally because the winner landed the manifest, which the
+// caller re-checks for dedupe — and break locks whose mtime says the
+// holder died mid-commit.
+func (a *Archive) lockRun(id string) (release func(), err error) {
+	path := a.lockPath(id)
+	deadline := time.Now().Add(lockWait)
+	for {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "pid %d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("lab: locking record %s: %w", id, err)
+		}
+		if fi, statErr := os.Stat(path); statErr == nil && time.Since(fi.ModTime()) > staleLockAge {
+			// The holder is gone (a crash between lock and rename leaves
+			// the temp dir for MkdirTemp cleanup and this file forever).
+			// Removal races between breakers are fine: everyone loops back
+			// to the exclusive create and exactly one wins.
+			os.Remove(path)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("lab: record %s: lock held for over %v by another writer", id, lockWait)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 // recordLine is one record.jsonl entry; Kind selects which of the other
 // fields are meaningful.
@@ -143,6 +194,16 @@ func decodeRecord(data []byte, run *Run) error {
 // touching the existing record. The returned bool reports whether a new
 // record was created.
 func (a *Archive) Put(run *Run) (id string, created bool, err error) {
+	return a.put(run, true)
+}
+
+// putUnlocked commits without taking the cross-process lock; it exists
+// only so tests can play the "crashed holder" role deterministically.
+func (a *Archive) putUnlocked(run *Run) (string, bool, error) {
+	return a.put(run, false)
+}
+
+func (a *Archive) put(run *Run, lock bool) (id string, created bool, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	m := &run.Meta
@@ -177,6 +238,19 @@ func (a *Archive) Put(run *Run) (id string, created bool, err error) {
 	if err != nil {
 		return "", false, fmt.Errorf("lab: encoding manifest %s: %w", m.ID, err)
 	}
+	// Cross-process guard: concurrent farm workers sharing this directory
+	// serialize per-id on an exclusive-create lockfile, then re-check for
+	// a record the previous holder landed (the common dedupe path).
+	if lock {
+		release, err := a.lockRun(m.ID)
+		if err != nil {
+			return "", false, err
+		}
+		defer release()
+		if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); statErr == nil {
+			return m.ID, false, nil
+		}
+	}
 	tmp, err := os.MkdirTemp(a.runsDir(), ".put-")
 	if err != nil {
 		return "", false, fmt.Errorf("lab: %w", err)
@@ -189,10 +263,11 @@ func (a *Archive) Put(run *Run) (id string, created bool, err error) {
 		return "", false, fmt.Errorf("lab: %w", err)
 	}
 	if err := os.Rename(tmp, dir); err != nil {
-		// A concurrent writer (another process) landed the same id first;
-		// its payload is byte-equivalent by construction (the id keys
-		// everything the record contains; only the informational CreatedAt
-		// can differ), so dedupe.
+		// Belt under the lock's suspenders: a writer that held a broken
+		// stale lock may still land the same id first; its payload is
+		// byte-equivalent by construction (the id keys everything the
+		// record contains; only the informational CreatedAt can differ),
+		// so dedupe.
 		if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); statErr == nil {
 			return m.ID, false, nil
 		}

@@ -1,0 +1,165 @@
+package lab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hammerRun builds a fresh Run value (Put mutates Meta) for one id.
+func hammerRun(seed int64) *Run {
+	r := mkRun("bulletprime", "modelnet", "", seed, 10, 20, 30)
+	r.Meta.Config = []byte(`{"protocol":"bulletprime","nodes":8}`)
+	r.Meta.Seed = seed
+	r.Meta.Nodes = 8
+	return r
+}
+
+// TestArchivePutCrossProcessHammer hammers one archive directory with
+// many concurrent writers, each holding its OWN Archive value — so the
+// in-process Put mutex serializes nothing and every writer takes the
+// cross-process path (exclusive-create lockfile + temp/rename), exactly
+// as separate farm-worker processes sharing the directory would. The
+// archive must end up with one record per distinct id, exactly one
+// writer observing created=true per id, and no lock or temp debris.
+func TestArchivePutCrossProcessHammer(t *testing.T) {
+	dir := t.TempDir()
+	const writers = 16
+	const seeds = 4 // distinct ids; writers/seeds writers race per id
+
+	var wg sync.WaitGroup
+	created := make([]int, seeds)
+	var mu sync.Mutex
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arch, err := Open(dir) // one handle per "process"
+			if err != nil {
+				errs <- err
+				return
+			}
+			arch.SetVersion("hammer") // same version everywhere, same ids
+			seed := int64(w%seeds + 1)
+			id, didCreate, err := arch.Put(hammerRun(seed))
+			if err != nil {
+				errs <- fmt.Errorf("writer %d: %w", w, err)
+				return
+			}
+			if id == "" {
+				errs <- fmt.Errorf("writer %d: empty id", w)
+				return
+			}
+			if didCreate {
+				mu.Lock()
+				created[seed-1]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, n := range created {
+		if n != 1 {
+			t.Fatalf("seed %d: %d writers observed created=true, want exactly 1", i+1, n)
+		}
+	}
+
+	arch, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != seeds {
+		t.Fatalf("%d records, want %d", len(metas), seeds)
+	}
+	for _, m := range metas {
+		if _, err := arch.Load(m.ID); err != nil {
+			t.Fatalf("record %s corrupt after hammer: %v", m.ID, err)
+		}
+	}
+	// No lockfiles or temp dirs left behind.
+	entries, err := os.ReadDir(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name()[0] == '.' {
+			t.Fatalf("debris left in runs/: %s", e.Name())
+		}
+	}
+}
+
+// TestArchivePutStaleLockBroken proves a lockfile orphaned by a crashed
+// writer does not wedge its id forever: once the lock is older than
+// staleLockAge, the next Put breaks it and commits.
+func TestArchivePutStaleLockBroken(t *testing.T) {
+	dir := t.TempDir()
+	arch, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := hammerRun(1)
+	// Compute the id the way Put will, then plant an old orphan lock.
+	id := Key(run.Meta.Config, run.Meta.Scenario, run.Meta.Seed, arch.Version())
+	lock := arch.lockPath(id)
+	if err := os.WriteFile(lock, []byte("pid 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleLockAge)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	gotID, created, err := arch.Put(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id || !created {
+		t.Fatalf("Put under stale lock: id %s created %v, want %s true", gotID, created, id)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatal("stale lock not cleaned up")
+	}
+}
+
+// TestArchivePutFreshLockWaits proves a *fresh* foreign lock makes Put
+// wait and then dedupe once the holder lands the record — the
+// worker-died-after-archiving farm scenario.
+func TestArchivePutFreshLockWaits(t *testing.T) {
+	dir := t.TempDir()
+	archA, _ := Open(dir)
+	archB, _ := Open(dir)
+	run := hammerRun(1)
+	id := Key(run.Meta.Config, run.Meta.Scenario, run.Meta.Seed, archA.Version())
+	if err := os.WriteFile(archA.lockPath(id), []byte("pid 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Holder commits its copy, then releases.
+		time.Sleep(50 * time.Millisecond)
+		if _, _, err := archA.putUnlocked(hammerRun(1)); err != nil {
+			t.Error(err)
+		}
+		os.Remove(archA.lockPath(id))
+	}()
+	gotID, created, err := archB.Put(hammerRun(1))
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id || created {
+		t.Fatalf("waiter got id %s created %v, want %s false (dedupe)", gotID, created, id)
+	}
+}

@@ -57,6 +57,10 @@ type Summary struct {
 	Seeds []int64
 	// Pooled merges every run's completion-time CDF.
 	Pooled *trace.CDF
+	// PerRun holds each run's median completion time, sorted ascending —
+	// one sample per run, the unit of replication for the bootstrap CI
+	// and the Mann-Whitney significance test.
+	PerRun []float64
 }
 
 // Summarize pools a run set under one label. Seeds are the distinct seeds
@@ -72,7 +76,14 @@ func Summarize(label string, runs []*Run) Summary {
 		}
 	}
 	sort.Slice(s.Seeds, func(i, j int) bool { return s.Seeds[i] < s.Seeds[j] })
+	s.PerRun = PerRunMedians(runs)
 	return s
+}
+
+// MedianCI is the bootstrap confidence interval of the summary's per-run
+// median at the given level (see BootstrapMedianCI).
+func (s Summary) MedianCI(level float64) CI {
+	return BootstrapMedianCI(s.PerRun, level, 0)
 }
 
 // QuantileDelta is one row of an A/B comparison: the pooled quantile under
@@ -97,6 +108,13 @@ type Comparison struct {
 	A, B   Summary
 	Deltas []QuantileDelta
 	Paired []PairedSeed
+
+	// Repetition-aware statistics over the sides' per-run medians,
+	// populated whenever both sides carry at least two runs. ACI/BCI are
+	// 95% bootstrap intervals; MW tests "B slower than A" one-sided.
+	Stats    bool
+	ACI, BCI CI
+	MW       MWResult
 }
 
 // Compare diffs two run sets: pooled per-quantile deltas over
@@ -145,6 +163,12 @@ func Compare(labelA string, a []*Run, labelB string, b []*Run) *Comparison {
 			Delta: cb.Quantile(0.5) - ca.Quantile(0.5),
 		})
 	}
+	if len(c.A.PerRun) >= 2 && len(c.B.PerRun) >= 2 {
+		c.Stats = true
+		c.ACI = c.A.MedianCI(0.95)
+		c.BCI = c.B.MedianCI(0.95)
+		c.MW = MannWhitney(c.A.PerRun, c.B.PerRun)
+	}
 	return c
 }
 
@@ -173,6 +197,17 @@ func (c *Comparison) Report() string {
 		for _, p := range c.Paired {
 			fmt.Fprintf(&b, "| %d | %.1f | %.1f | %+.1f |\n", p.Seed, p.A, p.B, p.Delta)
 		}
+	}
+	if c.Stats {
+		b.WriteString("\n### Repetition statistics (per-run medians)\n\n")
+		lo := math.Min(c.ACI.Lo, c.BCI.Lo)
+		hi := math.Max(c.ACI.Hi, c.BCI.Hi)
+		b.WriteString("```\n")
+		b.WriteString(renderCIBar(c.A.Label, sortedMedian(c.A.PerRun), c.ACI, lo, hi, 40) + "\n")
+		b.WriteString(renderCIBar(c.B.Label, sortedMedian(c.B.PerRun), c.BCI, lo, hi, 40) + "\n")
+		b.WriteString("```\n\n")
+		fmt.Fprintf(&b, "Mann-Whitney U=%.1f (n=%d vs %d): p=%.4f one-sided (%s slower), p=%.4f two-sided.\n",
+			c.MW.U, c.MW.NA, c.MW.NB, c.MW.POneSided, c.B.Label, c.MW.PTwoSided)
 	}
 	b.WriteString("\n```\n")
 	b.WriteString(cdfPlot("download time CDF", []Summary{c.A, c.B}))

@@ -24,6 +24,43 @@ type Baseline struct {
 	// Entries maps GroupKey.String() labels to the baseline metric value
 	// in seconds.
 	Entries map[string]float64 `json:"entries"`
+
+	// Stats, when non-nil, switches groups with enough repetitions to the
+	// statistical gate: instead of comparing one pooled median against a
+	// threshold, Gate rank-tests the group's current per-run samples
+	// against the baseline's recorded Samples and fails only on a
+	// significant regression. Captured by `bulletctl gate -write -stats`.
+	Stats *StatsConfig `json:"stats,omitempty"`
+	// Samples maps group labels to the baseline's per-run metric samples
+	// (sorted ascending), the reference population of the rank test.
+	Samples map[string][]float64 `json:"samples,omitempty"`
+}
+
+// StatsConfig parameterizes the statistical gate.
+type StatsConfig struct {
+	// Alpha is the one-sided significance level a regression must reach
+	// to fail the gate (default 0.05).
+	Alpha float64 `json:"alpha"`
+	// Confidence is the reported bootstrap CI level (default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// MinReps is the minimum per-side sample count required to trust the
+	// rank test; groups below it fall back to the threshold gate
+	// (default 4 — below that a Mann-Whitney test cannot reach p < 0.05).
+	MinReps int `json:"min_reps,omitempty"`
+}
+
+// normalized fills the config's documented defaults.
+func (s StatsConfig) normalized() StatsConfig {
+	if s.Alpha <= 0 || s.Alpha >= 1 {
+		s.Alpha = 0.05
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		s.Confidence = 0.95
+	}
+	if s.MinReps < 2 {
+		s.MinReps = 4
+	}
+	return s
 }
 
 // BaselineFrom captures the current run set as a new baseline.
@@ -47,6 +84,28 @@ func BaselineFrom(runs []*Run, metric string, tolerance float64) (*Baseline, err
 	return b, nil
 }
 
+// CaptureStats records the run set's per-run metric samples per group and
+// arms the statistical gate with cfg (defaults filled in). Groups whose
+// sample count is below cfg.MinReps are recorded anyway — Gate falls back
+// to the threshold check for them until they accumulate repetitions.
+func (b *Baseline) CaptureStats(runs []*Run, cfg StatsConfig) error {
+	eval, err := MetricQuantile(b.Metric)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.normalized()
+	b.Stats = &cfg
+	b.Samples = map[string][]float64{}
+	keys, groups := GroupRuns(runs)
+	for _, k := range keys {
+		samples := PerRunMetric(groups[k], eval)
+		if len(samples) > 0 {
+			b.Samples[k.String()] = samples
+		}
+	}
+	return nil
+}
+
 // LoadBaseline reads a baseline JSON file.
 func LoadBaseline(path string) (*Baseline, error) {
 	data, err := os.ReadFile(path)
@@ -62,6 +121,9 @@ func LoadBaseline(path string) (*Baseline, error) {
 	}
 	if b.Tolerance < 0 {
 		return nil, fmt.Errorf("lab: baseline %s: negative tolerance %v", path, b.Tolerance)
+	}
+	if b.Stats != nil && (b.Stats.Alpha <= 0 || b.Stats.Alpha >= 1) {
+		return nil, fmt.Errorf("lab: baseline %s: stats alpha %v outside (0, 1)", path, b.Stats.Alpha)
 	}
 	return &b, nil
 }
@@ -85,9 +147,17 @@ type GateResult struct {
 	Current  float64 // measured value (0 when the group is missing)
 	Limit    float64 // Baseline * (1 + Tolerance)
 	// Exactly one of these can be set; a result with none set passed.
-	Regressed bool // Current exceeds Limit
+	Regressed bool // Current exceeds Limit (threshold) or shifted at p < alpha (statistical)
 	Missing   bool // baseline group absent from the run set
 	New       bool // run-set group absent from the baseline (informational)
+
+	// Statistical-path fields, populated when the group was judged by the
+	// rank test (Stat true) rather than the threshold.
+	Stat     bool
+	Reps     int     // current per-run sample count
+	BaseReps int     // baseline per-run sample count
+	CurCI    CI      // bootstrap CI of the current per-run metric
+	P        float64 // one-sided Mann-Whitney p for "current slower than baseline"
 }
 
 // Gate evaluates the run set against the baseline. It returns one result
@@ -95,6 +165,16 @@ type GateResult struct {
 // whether the gate passes: every baseline group must be present and within
 // tolerance. New groups are reported but never fail the gate — they become
 // entries on the next -write.
+//
+// When the baseline carries Stats and recorded Samples, any group with at
+// least Stats.MinReps repetitions on both sides is judged statistically
+// instead: the gate fails only when the current per-run samples rank
+// significantly slower than the baseline's (one-sided Mann-Whitney
+// p < Alpha) AND the current median exceeds the baseline median. A single
+// noisy repetition that would push a pooled median past the threshold no
+// longer fails the gate, while a consistent small regression hiding
+// inside the threshold's tolerance now does. Groups without enough
+// repetitions on either side keep the threshold verdict.
 func (b *Baseline) Gate(runs []*Run) ([]GateResult, bool) {
 	eval, err := MetricQuantile(b.Metric)
 	if err != nil {
@@ -102,12 +182,18 @@ func (b *Baseline) Gate(runs []*Run) ([]GateResult, bool) {
 		// baseline fails every group rather than panicking.
 		return []GateResult{{Label: "(invalid metric " + b.Metric + ")", Regressed: true}}, false
 	}
+	var stats StatsConfig
+	if b.Stats != nil {
+		stats = b.Stats.normalized()
+	}
 	current := map[string]float64{}
+	curSamples := map[string][]float64{}
 	keys, groups := GroupRuns(runs)
 	for _, k := range keys {
 		s := Summarize(k.String(), groups[k])
 		if s.Pooled.N() > 0 {
 			current[k.String()] = eval(s.Pooled)
+			curSamples[k.String()] = PerRunMetric(groups[k], eval)
 		}
 	}
 	labels := map[string]bool{}
@@ -129,12 +215,29 @@ func (b *Baseline) Gate(runs []*Run) ([]GateResult, bool) {
 		base, inBase := b.Entries[l]
 		cur, inCur := current[l]
 		r := GateResult{Label: l, Baseline: base, Current: cur, Limit: base * (1 + b.Tolerance)}
+		baseSamples := b.Samples[l]
 		switch {
 		case !inBase:
 			r.New = true
 		case !inCur:
 			r.Missing = true
 			ok = false
+		case b.Stats != nil && len(baseSamples) >= stats.MinReps && len(curSamples[l]) >= stats.MinReps:
+			cs := curSamples[l]
+			// Hand-edited baselines may carry unsorted samples; the rank
+			// test is order-free but sortedMedian is not.
+			bs := append([]float64(nil), baseSamples...)
+			sort.Float64s(bs)
+			r.Stat = true
+			r.Reps = len(cs)
+			r.BaseReps = len(bs)
+			r.CurCI = BootstrapMedianCI(cs, stats.Confidence, 0)
+			mw := MannWhitney(bs, cs)
+			r.P = mw.POneSided
+			if r.P < stats.Alpha && sortedMedian(cs) > sortedMedian(bs) {
+				r.Regressed = true
+				ok = false
+			}
 		case cur > r.Limit:
 			r.Regressed = true
 			ok = false
@@ -145,12 +248,28 @@ func (b *Baseline) Gate(runs []*Run) ([]GateResult, bool) {
 }
 
 // RenderGate formats gate results as the table `bulletctl gate` prints.
+// When any group was judged statistically the table grows reps, CI, and
+// p-value columns; threshold-judged rows print "-" there.
 func RenderGate(metric string, results []GateResult, ok bool) string {
+	stat := false
+	for _, r := range results {
+		if r.Stat {
+			stat = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-40s %10s %10s %10s  %s\n", "group", "baseline", "limit", "current", "verdict")
+	if stat {
+		fmt.Fprintf(&b, "%-40s %10s %10s %10s %6s %18s %8s  %s\n",
+			"group", "baseline", "limit", "current", "reps", "ci95", "p", "verdict")
+	} else {
+		fmt.Fprintf(&b, "%-40s %10s %10s %10s  %s\n", "group", "baseline", "limit", "current", "verdict")
+	}
 	for _, r := range results {
 		verdict := "ok"
 		switch {
+		case r.Regressed && r.Stat:
+			verdict = "REGRESSED (significant)"
 		case r.Regressed:
 			verdict = "REGRESSED"
 		case r.Missing:
@@ -159,7 +278,18 @@ func RenderGate(metric string, results []GateResult, ok bool) string {
 			verdict = "new"
 		}
 		baseline, limit, current := num(r.Baseline, !r.New), num(r.Limit, !r.New), num(r.Current, !r.Missing)
-		fmt.Fprintf(&b, "%-40s %10s %10s %10s  %s\n", r.Label, baseline, limit, current, verdict)
+		if !stat {
+			fmt.Fprintf(&b, "%-40s %10s %10s %10s  %s\n", r.Label, baseline, limit, current, verdict)
+			continue
+		}
+		reps, ci, p := "-", "-", "-"
+		if r.Stat {
+			reps = fmt.Sprintf("%dv%d", r.BaseReps, r.Reps)
+			ci = r.CurCI.String()
+			p = fmt.Sprintf("%.4f", r.P)
+		}
+		fmt.Fprintf(&b, "%-40s %10s %10s %10s %6s %18s %8s  %s\n",
+			r.Label, baseline, limit, current, reps, ci, p, verdict)
 	}
 	if ok {
 		fmt.Fprintf(&b, "gate ok (%s within tolerance)\n", metric)

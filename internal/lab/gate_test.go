@@ -101,6 +101,172 @@ func TestBaselineGate(t *testing.T) {
 	}
 }
 
+// repRuns builds one run per sample value, all in the same group, as a
+// sweep with -reps produces: distinct derived seeds, one repetition each.
+func repRuns(times ...[]float64) []*Run {
+	var out []*Run
+	for i, ts := range times {
+		out = append(out, mkRun("bulletprime", "modelnet", "", RepSeed(1, i), ts...))
+	}
+	return out
+}
+
+// TestStatGateCatchesConsistentRegression is the injected-regression
+// proof: a small regression present in EVERY repetition hides inside the
+// threshold gate's tolerance (old gate passes) but ranks significantly
+// slower than the baseline population (statistical gate fails at
+// p < 0.05).
+func TestStatGateCatchesConsistentRegression(t *testing.T) {
+	baseRuns := repRuns([]float64{10.0}, []float64{10.1}, []float64{10.2}, []float64{10.3}, []float64{10.4})
+	base, err := BaselineFrom(baseRuns, "median", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.CaptureStats(baseRuns, StatsConfig{Alpha: 0.05, MinReps: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Samples["bulletprime/modelnet"]; len(got) != 5 {
+		t.Fatalf("captured samples %v", got)
+	}
+
+	// +10% in every repetition: under the 15% threshold, over the rank test.
+	cur := repRuns([]float64{11.0}, []float64{11.1}, []float64{11.2}, []float64{11.3}, []float64{11.4})
+
+	// The old single-median gate passes this regression.
+	threshold := &Baseline{Metric: base.Metric, Tolerance: base.Tolerance, Entries: base.Entries}
+	if _, ok := threshold.Gate(cur); !ok {
+		t.Fatal("threshold gate should pass a within-tolerance regression")
+	}
+
+	// The statistical gate flags it, with the evidence attached.
+	results, ok := base.Gate(cur)
+	if ok {
+		t.Fatalf("statistical gate must fail a consistent regression: %+v", results)
+	}
+	var r GateResult
+	for _, res := range results {
+		if res.Label == "bulletprime/modelnet" {
+			r = res
+		}
+	}
+	if !r.Stat || !r.Regressed {
+		t.Fatalf("regression not judged statistically: %+v", r)
+	}
+	if r.P >= 0.05 {
+		t.Fatalf("p = %v, want < 0.05", r.P)
+	}
+	if r.Reps != 5 || r.BaseReps != 5 {
+		t.Fatalf("rep counts %dv%d, want 5v5", r.BaseReps, r.Reps)
+	}
+	if r.CurCI.Lo == 0 && r.CurCI.Hi == 0 {
+		t.Fatalf("no CI attached: %+v", r)
+	}
+
+	out := RenderGate(base.Metric, results, ok)
+	if !strings.Contains(out, "REGRESSED (significant)") || !strings.Contains(out, "5v5") {
+		t.Fatalf("rendered stat gate missing evidence columns:\n%s", out)
+	}
+}
+
+// TestStatGateForgivesSingleOutlier is the reverse direction: one noisy
+// repetition pushes the pooled worst past the threshold limit (old gate
+// fails) but four-of-four-vs-three-of-four identical repetitions are
+// nowhere near rank significance, so the statistical gate passes.
+func TestStatGateForgivesSingleOutlier(t *testing.T) {
+	mk := func(worst float64) []float64 { return []float64{9, 10, worst} }
+	baseRuns := repRuns(mk(10.4), mk(10.4), mk(10.4), mk(10.4))
+	base, err := BaselineFrom(baseRuns, "worst", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.CaptureStats(baseRuns, StatsConfig{Alpha: 0.05, MinReps: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One repetition hit a straggler: pooled worst jumps 10.4 -> 30.
+	cur := repRuns(mk(10.4), mk(10.4), mk(10.4), mk(30))
+
+	threshold := &Baseline{Metric: base.Metric, Tolerance: base.Tolerance, Entries: base.Entries}
+	if _, ok := threshold.Gate(cur); ok {
+		t.Fatal("threshold gate should fail on the pooled-worst outlier")
+	}
+
+	results, ok := base.Gate(cur)
+	if !ok {
+		t.Fatalf("statistical gate must forgive a single noisy repetition: %+v", results)
+	}
+	for _, r := range results {
+		if r.Label == "bulletprime/modelnet" && (!r.Stat || r.Regressed) {
+			t.Fatalf("outlier group misjudged: %+v", r)
+		}
+	}
+}
+
+// TestStatGateFallsBackBelowMinReps pins the fallback: groups without
+// enough repetitions keep the threshold verdict even when the baseline
+// carries stats.
+func TestStatGateFallsBackBelowMinReps(t *testing.T) {
+	baseRuns := repRuns([]float64{10.0}, []float64{10.2})
+	base, err := BaselineFrom(baseRuns, "median", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.CaptureStats(baseRuns, StatsConfig{Alpha: 0.05, MinReps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Two reps < MinReps 4: a breach of the threshold still fails...
+	results, ok := base.Gate(repRuns([]float64{12.0}, []float64{12.2}))
+	if ok {
+		t.Fatalf("threshold fallback missed a 20%% regression: %+v", results)
+	}
+	for _, r := range results {
+		if r.Stat {
+			t.Fatalf("under-repped group judged statistically: %+v", r)
+		}
+	}
+	// ...and a within-tolerance shift still passes.
+	if _, ok := base.Gate(repRuns([]float64{11.0}, []float64{11.2})); !ok {
+		t.Fatal("threshold fallback failed a within-tolerance shift")
+	}
+}
+
+// TestStatGateBaselineRoundTrip proves an armed baseline survives
+// Save/Load with its samples and config intact.
+func TestStatGateBaselineRoundTrip(t *testing.T) {
+	baseRuns := repRuns([]float64{10.0}, []float64{10.1}, []float64{10.2}, []float64{10.3}, []float64{10.4})
+	base, err := BaselineFrom(baseRuns, "median", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.CaptureStats(baseRuns, StatsConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats == nil || back.Stats.Alpha != 0.05 || back.Stats.MinReps != 4 {
+		t.Fatalf("stats config lost in round trip: %+v", back.Stats)
+	}
+	if got := back.Samples["bulletprime/modelnet"]; len(got) != 5 || got[0] != 10.0 {
+		t.Fatalf("samples lost in round trip: %v", got)
+	}
+	// A corrupted alpha is rejected at load time, not at gate time.
+	bad := *back
+	bad.Stats = &StatsConfig{Alpha: 7}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.Save(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(badPath); err == nil {
+		t.Fatal("alpha outside (0,1) should fail to load")
+	}
+}
+
 func TestBaselineSaveLoad(t *testing.T) {
 	base := &Baseline{Metric: "p90", Tolerance: 0.15, Entries: map[string]float64{"a/b": 12.5}}
 	path := filepath.Join(t.TempDir(), "baseline.json")
